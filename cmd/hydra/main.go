@@ -1,0 +1,231 @@
+// Command hydra runs the Hydra-proxy application: the six published
+// loop-chains of the paper's Tables 3-4 (weight, period, gradl, vflux,
+// iflux, jacob) inside a 5-stage Runge-Kutta time-marching skeleton, under
+// the sequential reference, the standard distributed OP2 back-end, or the
+// communication-avoiding back-end.
+//
+// By default the CA back-end runs the paper's configured halo extensions
+// (the Section 3.4 configuration file); -safe lets the inspector choose
+// conservative extensions instead, and -config loads a custom file.
+//
+// Usage:
+//
+//	hydra -mesh-nodes 60000 -ranks 16 -backend ca -iters 20 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"op2ca/internal/ca"
+	"op2ca/internal/chaincfg"
+	"op2ca/internal/cluster"
+	"op2ca/internal/core"
+	"op2ca/internal/hydra"
+	"op2ca/internal/machine"
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+func main() {
+	var (
+		meshNodes   = flag.Int("mesh-nodes", 60000, "approximate node count")
+		ranks       = flag.Int("ranks", 8, "simulated MPI ranks (ignored for -backend seq)")
+		backendName = flag.String("backend", "ca", "backend: seq, op2 or ca")
+		iters       = flag.Int("iters", 20, "time-marching iterations (the paper measures 20)")
+		partName    = flag.String("partitioner", "rib", "partitioner: rib, rcb, kway or block")
+		machName    = flag.String("machine", "archer2", "machine model: archer2, cirrus or laptop")
+		cfgPath     = flag.String("config", "", "CA chain configuration file (default: built-in paper config)")
+		safe        = flag.Bool("safe", false, "let the inspector pick conservative halo extensions")
+		stats       = flag.Bool("stats", false, "print per-loop/per-chain statistics")
+		serial      = flag.Bool("serial", false, "run simulated ranks on one host thread")
+		explain     = flag.Bool("explain", false, "print each chain's inspection plan and exit")
+		verify      = flag.Bool("verify", false, "compare final state against the sequential reference")
+	)
+	flag.Parse()
+
+	m := mesh.RotorForNodes(*meshNodes)
+	app := hydra.New(m)
+
+	if *explain {
+		chains, _, err := chainSetup(*cfgPath, *safe)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range hydra.ChainNames() {
+			loops := app.ChainLoops(name)
+			var over []int
+			if cc := chains.Get(name); cc != nil {
+				if over, err = cc.HEOverrides(len(loops)); err != nil {
+					fatal(err)
+				}
+			}
+			plan, err := ca.Inspect(name, loops, over)
+			if err != nil {
+				fmt.Printf("chain %s: %v\n", name, err)
+				continue
+			}
+			fmt.Print(plan.Describe(loops))
+		}
+		return
+	}
+	fmt.Printf("mesh: %d nodes, %d edges, %d pedges, %d bnd, %d cbnd\n",
+		m.NNodes, m.NEdges, m.NPedges, m.NBedges, m.NCbnd)
+
+	var b core.Backend
+	var cb *cluster.Backend
+	switch *backendName {
+	case "seq":
+		b = core.NewSeq()
+	case "op2", "ca":
+		mach, err := machineByName(*machName)
+		if err != nil {
+			fatal(err)
+		}
+		assign, err := assignment(m, *partName, *ranks)
+		if err != nil {
+			fatal(err)
+		}
+		chains, depth, err := chainSetup(*cfgPath, *safe)
+		if err != nil {
+			fatal(err)
+		}
+		cb, err = cluster.New(cluster.Config{
+			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: *ranks,
+			Depth: depth, MaxChainLen: 6, CA: *backendName == "ca",
+			Chains: chains, Machine: mach, Parallel: !*serial,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		b = cb
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backendName))
+	}
+
+	chained := *backendName == "ca"
+	app.RunSetup(b, chained)
+	for it := 0; it < *iters; it++ {
+		app.RunIteration(b, chained)
+	}
+	fmt.Printf("backend %s: setup + %d iterations complete\n", b.Name(), *iters)
+	if cb != nil {
+		fmt.Printf("virtual time (slowest rank): %.6fs over %d ranks\n", cb.MaxClock(), cb.NParts())
+		if *stats {
+			fmt.Print(cb.Stats().String())
+		}
+		if *verify {
+			verifyAgainstSeq(cb, m, app, *iters, chained, *safe)
+		}
+	}
+}
+
+// verifyAgainstSeq reruns the identical program sequentially and reports the
+// worst relative difference of the primary state. Under the paper's
+// configured halo extensions a small boundary-local deviation is expected
+// (DESIGN.md 5b); safe mode must match to rounding.
+func verifyAgainstSeq(cb *cluster.Backend, m *mesh.FV3D, app *hydra.App,
+	iters int, chained, safe bool) {
+	ref := hydra.New(m)
+	seq := core.NewSeq()
+	ref.RunSetup(seq, chained)
+	for it := 0; it < iters; it++ {
+		ref.RunIteration(seq, chained)
+	}
+	worst := 0.0
+	for _, pair := range [][2]*core.Dat{{app.Qp, ref.Qp}, {app.Qo, ref.Qo}, {app.Res, ref.Res}} {
+		got := cb.GatherDat(pair[0])
+		want := pair[1].Data
+		for i := range want {
+			d := got[i] - want[i]
+			if d < 0 {
+				d = -d
+			}
+			den := want[i]
+			if den < 0 {
+				den = -den
+			}
+			if rel := d / (den + 1e-30); rel > worst {
+				worst = rel
+			}
+		}
+	}
+	tol := 0.02 // published extensions perturb boundary values slightly
+	if safe {
+		tol = 1e-9
+	}
+	fmt.Printf("verify: max relative difference vs sequential reference = %.3e (tolerance %.0e)\n", worst, tol)
+	if worst > tol {
+		fmt.Println("verify: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("verify: OK")
+}
+
+// chainSetup resolves the CA chain configuration and the halo depth the
+// back-end must build.
+func chainSetup(path string, safe bool) (*chaincfg.Config, int, error) {
+	if safe {
+		// No configured extensions: the inspector's conservative analysis
+		// chooses; the weight/period chains need up to 5 shells.
+		return nil, 5, nil
+	}
+	if path == "" {
+		return hydra.MustPaperConfig(), 2, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	cfg, err := chaincfg.Parse(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	// A custom file may pin deeper extensions; build generously.
+	depth := 2
+	for _, name := range cfg.Order {
+		c := cfg.Chains[name]
+		if c.MaxHE > depth {
+			depth = c.MaxHE
+		}
+		for _, l := range c.Loops {
+			if l.HE > depth {
+				depth = l.HE
+			}
+		}
+	}
+	return cfg, depth, nil
+}
+
+func machineByName(name string) (*machine.Machine, error) {
+	switch name {
+	case "archer2":
+		return machine.ARCHER2(), nil
+	case "cirrus":
+		return machine.Cirrus(), nil
+	case "laptop":
+		return machine.Laptop(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", name)
+}
+
+func assignment(m *mesh.FV3D, partitioner string, ranks int) (partition.Assignment, error) {
+	switch partitioner {
+	case "kway":
+		return partition.KWay(m.NodeAdjacency(), ranks), nil
+	case "rib":
+		return partition.RIB(m.Coords, 3, ranks), nil
+	case "rcb":
+		return partition.RCB(m.Coords, 3, ranks), nil
+	case "block":
+		return partition.Block(m.NNodes, ranks), nil
+	}
+	return nil, fmt.Errorf("unknown partitioner %q", partitioner)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hydra:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command op2ca-bench regenerates the tables and figures of the paper's
+// evaluation section (Ekanayake et al., ICPP 2023). Each experiment runs
+// both the standard OP2 back-end and the communication-avoiding back-end
+// over scaled synthetic rotor meshes under the ARCHER2/Cirrus machine
+// models, and prints a paper-style table.
+//
+// Usage:
+//
+//	op2ca-bench                         # all experiments, default scale
+//	op2ca-bench -experiment fig10,table5
+//	op2ca-bench -quick                  # CI-sized scale
+//	op2ca-bench -nodes8m 120000 -rankscale 0.02 -iters 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"op2ca/internal/bench"
+)
+
+func main() {
+	var (
+		experiments = flag.String("experiment", "all",
+			"comma-separated experiments: "+strings.Join(bench.ExperimentOrder(), ",")+" or all")
+		quick     = flag.Bool("quick", false, "CI-sized configuration")
+		nodes8m   = flag.Int("nodes8m", 0, "override scaled 8M-class mesh node count")
+		nodes24m  = flag.Int("nodes24m", 0, "override scaled 24M-class mesh node count")
+		rankScale = flag.Float64("rankscale", 0, "override paper-nodes -> ranks scale factor")
+		iters     = flag.Int("iters", 0, "override measured main-loop iterations")
+		serial    = flag.Bool("serial", false, "run simulated ranks on one host thread")
+		out       = flag.String("o", "", "also write results to this file")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	if *nodes8m > 0 {
+		cfg.Nodes8M = *nodes8m
+	}
+	if *nodes24m > 0 {
+		cfg.Nodes24M = *nodes24m
+	}
+	if *rankScale > 0 {
+		cfg.RankScale = *rankScale
+	}
+	if *iters > 0 {
+		cfg.Iters = *iters
+	}
+	if *serial {
+		cfg.Parallel = false
+	}
+
+	var names []string
+	if *experiments == "all" {
+		names = bench.ExperimentOrder()
+	} else {
+		names = strings.Split(*experiments, ",")
+	}
+	registry := bench.Experiments()
+
+	var sink *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "op2ca-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	emit := func(s string) {
+		fmt.Print(s)
+		if sink != nil {
+			fmt.Fprint(sink, s)
+		}
+	}
+
+	emit(fmt.Sprintf("op2ca-bench: meshes %d/%d nodes, rank scale %g, %d iterations\n\n",
+		cfg.Nodes8M, cfg.Nodes24M, cfg.RankScale, cfg.Iters))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		run, ok := registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "op2ca-bench: unknown experiment %q (have %s)\n",
+				name, strings.Join(bench.ExperimentOrder(), ", "))
+			os.Exit(1)
+		}
+		start := time.Now()
+		table := run(cfg)
+		if *csv {
+			emit(fmt.Sprintf("# %s\n%s\n", table.Title, table.CSV()))
+		} else {
+			emit(table.String())
+			emit(fmt.Sprintf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds()))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Modelstudy: explore the paper's analytic loop-chain model (Section 3.2,
+// Equations (1)-(4)) without running any mesh: where does a chain profit
+// from communication avoidance?
+//
+// The study sweeps the determinants the paper identifies — loop count,
+// neighbour count, core size (strong scaling), and the redundant-compute
+// overhead of deeper halos — and prints the modelled gain surface plus the
+// break-even grouped-message size for each point.
+//
+//	go run ./examples/modelstudy
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"op2ca/internal/machine"
+	"op2ca/internal/model"
+)
+
+func main() {
+	mach := machine.ARCHER2()
+	net := model.Net{L: mach.Latency, B: mach.Bandwidth, C: 2e-6}
+	g := 40e-9 // seconds per iteration (a flux-like kernel on one EPYC core)
+
+	fmt.Printf("analytic model study (%s: L=%.1fus, B=%.0fMB/s)\n\n",
+		mach.Name, net.L*1e6, net.B/1e6)
+
+	// Gain vs loop count and core size (the strong-scaling axis).
+	fmt.Println("modelled CA gain% by loop count and per-rank core size")
+	fmt.Println("(surface-scaled messages; CA halo = 2.2x OP2 halo, grouped message = 3x per-loop message)")
+	cores := []float64{50000, 10000, 3000, 1000, 300}
+	loops := []int{2, 4, 8, 16, 32}
+	fmt.Printf("%-12s", "core\\loops")
+	for _, n := range loops {
+		fmt.Printf("%8d", n)
+	}
+	fmt.Println()
+	for _, core := range cores {
+		fmt.Printf("%-12.0f", core)
+		for _, n := range loops {
+			comp := model.Compare(op2Chain(n, core, g), caChain(n, core, g), net)
+			fmt.Printf("%8.1f", comp.GainPct)
+		}
+		fmt.Println()
+	}
+
+	// Gain vs neighbour count at a fixed small core: message-count
+	// reduction is the CA win, so more neighbours help.
+	fmt.Println("\nmodelled CA gain% by neighbour count (core 1000, 16 loops)")
+	for _, p := range []float64{2, 4, 8, 16, 32} {
+		op2 := op2Chain(16, 1000, g)
+		ca := caChain(16, 1000, g)
+		for i := range op2 {
+			op2[i].Neighbours = p
+		}
+		ca.Neighbours = p
+		comp := model.Compare(op2, ca, net)
+		fmt.Printf("  p = %4.0f: gain %6.1f%%\n", p, comp.GainPct)
+	}
+
+	// Break-even message size: how much redundant halo data can the
+	// grouped message carry before CA stops paying?
+	fmt.Println("\nbreak-even grouped-message size per neighbour (16 loops)")
+	for _, core := range cores {
+		op2 := op2Chain(16, core, g)
+		ca := caChain(16, core, g)
+		be := model.BreakEvenNeighbourBytes(op2, ca, net)
+		fmt.Printf("  core %7.0f: %12.0f bytes\n", core, be)
+	}
+
+	fmt.Println("\nreading: gains demand small cores (high rank counts), long chains and many")
+	fmt.Println("neighbours; big cores hide communication behind computation and CA's")
+	fmt.Println("redundant halo work then makes it slower - the paper's gradl case.")
+}
+
+// surfaceBytes scales the per-neighbour message with the partition surface
+// (volume^(2/3)), as halo sizes do on 3-D meshes.
+func surfaceBytes(core float64) float64 { return 8 * math.Pow(core, 2.0/3) }
+
+// op2Chain builds n identical standard-OP2 loop parameter sets.
+func op2Chain(n int, core, g float64) []model.LoopParams {
+	loops := make([]model.LoopParams, n)
+	for i := range loops {
+		loops[i] = model.LoopParams{
+			G: g, CoreIters: core, HaloIters: 0.2 * core,
+			NDats: 1, Neighbours: 8, MsgBytes: surfaceBytes(core),
+		}
+	}
+	return loops
+}
+
+// caChain builds the CA equivalent: smaller cores, multi-level halo work,
+// one grouped message.
+func caChain(n int, core, g float64) model.ChainParams {
+	ca := model.ChainParams{Neighbours: 8, GroupedBytes: 3 * surfaceBytes(core)}
+	for i := 0; i < n; i++ {
+		// The CA core shrinks to the deep interior; everything else —
+		// the former core's boundary part plus the multi-level execute
+		// halos — runs after the wait.
+		ca.Loops = append(ca.Loops, model.LoopParams{
+			G: g, CoreIters: 0.7 * core, HaloIters: (0.3 + 0.44) * core,
+		})
+	}
+	return ca
+}

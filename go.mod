@@ -1,0 +1,3 @@
+module op2ca
+
+go 1.23

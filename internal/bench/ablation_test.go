@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fmtSscan parses one float from a table cell.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func TestAblationDepthShape(t *testing.T) {
+	tab := AblationDepth(tiny())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// Deeper-than-needed halos must be slower (monotone CA time).
+	var prev float64
+	for i, row := range tab.Rows {
+		var v float64
+		if _, err := sscan(row[1], &v); err != nil {
+			t.Fatalf("bad time cell %q", row[1])
+		}
+		if i > 0 && v <= prev {
+			t.Errorf("CA time should grow with excess halo depth: %v", tab.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestAblationGroupingWins(t *testing.T) {
+	tab := AblationGrouping(tiny())
+	for _, row := range tab.Rows {
+		var perDat, grouped float64
+		if _, err := sscan(row[2], &perDat); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[3], &grouped); err != nil {
+			t.Fatal(err)
+		}
+		if grouped >= perDat {
+			t.Errorf("grouped messages should beat per-dat messages: %v", row)
+		}
+	}
+}
+
+func TestAblationPartitionerComplete(t *testing.T) {
+	tab := AblationPartitioner(tiny())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	// The random partition must have the worst cut.
+	var kwayCut, randCut float64
+	for _, row := range tab.Rows {
+		var cut float64
+		if _, err := sscan(row[1], &cut); err != nil {
+			t.Fatal(err)
+		}
+		switch row[0] {
+		case "kway":
+			kwayCut = cut
+		case "random":
+			randCut = cut
+		}
+	}
+	if randCut <= kwayCut {
+		t.Errorf("random cut %g should exceed kway cut %g", randCut, kwayCut)
+	}
+}
+
+func TestAblationGPULaunch(t *testing.T) {
+	tab := AblationGPULaunch(tiny())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// CA must win at every overhead setting on the GPU model.
+	for _, row := range tab.Rows {
+		var g float64
+		if _, err := sscan(row[3], &g); err != nil {
+			t.Fatal(err)
+		}
+		if g <= 0 {
+			t.Errorf("CA should win on the GPU model at overhead %s: gain %g%%", row[0], g)
+		}
+	}
+}
+
+// sscan parses one float from a table cell.
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}

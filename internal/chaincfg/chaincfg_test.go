@@ -1,0 +1,140 @@
+package chaincfg
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# Hydra loop-chains (Tables 3 and 4)
+chain weight maxhe=2
+  loop sumbwts he=2
+  loop periodsym he=1
+  loop centreline he=2
+  loop edgelength he=2
+  loop periodicity he=1
+chain period maxhe=2
+chain vflux maxhe=1
+chain gradl disable
+`
+
+func TestParse(t *testing.T) {
+	cfg, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Order) != 4 {
+		t.Fatalf("parsed %d chains, want 4", len(cfg.Order))
+	}
+	w := cfg.Get("weight")
+	if w == nil || w.MaxHE != 2 || len(w.Loops) != 5 || w.Disabled {
+		t.Fatalf("weight = %+v", w)
+	}
+	if w.Loops[2].Name != "centreline" || w.Loops[2].HE != 2 {
+		t.Errorf("weight loop 2 = %+v", w.Loops[2])
+	}
+	if g := cfg.Get("gradl"); g == nil || !g.Disabled {
+		t.Error("gradl should be disabled")
+	}
+	if cfg.Get("nope") != nil {
+		t.Error("unknown chain should be nil")
+	}
+	var nilCfg *Config
+	if nilCfg.Get("x") != nil {
+		t.Error("nil config Get should be nil")
+	}
+}
+
+func TestHEOverrides(t *testing.T) {
+	cfg, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := cfg.Get("weight").HEOverrides(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 2, 2, 1}
+	for i := range want {
+		if he[i] != want[i] {
+			t.Fatalf("weight overrides = %v, want %v", he, want)
+		}
+	}
+	if _, err := cfg.Get("weight").HEOverrides(3); err == nil {
+		t.Error("expected loop-count mismatch error")
+	}
+	// maxhe only: all loops capped.
+	he, err = cfg.Get("period").HEOverrides(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range he {
+		if v != 2 {
+			t.Fatalf("period overrides = %v, want all 2", he)
+		}
+	}
+	// No constraints at all: zeros.
+	c := &Chain{Name: "free"}
+	he, err = c.HEOverrides(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he[0] != 0 || he[1] != 0 {
+		t.Fatalf("free overrides = %v, want zeros", he)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"chain",
+		"loop x",
+		"chain a\nchain a",
+		"chain a maxhe=zero",
+		"chain a maxhe=0",
+		"chain a wat",
+		"chain a\nloop",
+		"chain a\nloop l he=-2",
+		"chain a\nloop l wat=1",
+		"banana split",
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	cfg, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseString(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parsing String() output: %v", err)
+	}
+	if len(again.Order) != len(cfg.Order) {
+		t.Fatalf("round trip lost chains: %v vs %v", again.Order, cfg.Order)
+	}
+	for _, name := range cfg.Order {
+		a, b := cfg.Chains[name], again.Chains[name]
+		if a.MaxHE != b.MaxHE || a.Disabled != b.Disabled || len(a.Loops) != len(b.Loops) {
+			t.Fatalf("chain %s changed: %+v vs %+v", name, a, b)
+		}
+		for i := range a.Loops {
+			if a.Loops[i] != b.Loops[i] {
+				t.Fatalf("chain %s loop %d changed", name, i)
+			}
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	cfg, err := Parse(strings.NewReader("# only comments\n\n  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Chains) != 0 {
+		t.Error("empty config should have no chains")
+	}
+}

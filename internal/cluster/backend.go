@@ -1,0 +1,455 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"op2ca/internal/chaincfg"
+	"op2ca/internal/core"
+	"op2ca/internal/halo"
+	"op2ca/internal/machine"
+	"op2ca/internal/netsim"
+)
+
+// Config configures a distributed back-end.
+type Config struct {
+	// Prog is the program (global mesh and data) to distribute.
+	Prog *core.Program
+	// Primary is the partitioned set; Assign maps its elements to ranks.
+	Primary *core.Set
+	Assign  []int32
+	// NParts is the number of ranks.
+	NParts int
+	// Depth is the number of halo shells to build; it must cover the
+	// largest halo extension of any chain executed with CA. Default 1.
+	Depth int
+	// MaxChainLen is the longest CA chain to support (core prefixes are
+	// precomputed per chain position). Default 8.
+	MaxChainLen int
+	// Machine parameterises the virtual-time cost model. Default Laptop.
+	Machine *machine.Machine
+	// CA enables Algorithm 2 for demarcated chains; when false, chains
+	// fall back to per-loop execution (the paper's baseline OP2).
+	CA bool
+	// Chains optionally configures per-chain halo extensions and
+	// disables (the paper's Section 3.4 configuration file).
+	Chains *chaincfg.Config
+	// Parallel executes ranks on multiple OS threads. Results are
+	// identical; only host wall time changes.
+	Parallel bool
+	// NoGroupedMsgs makes CA chains exchange one message per dat and
+	// halo kind instead of one grouped message per neighbour (Figure 8
+	// disabled). An ablation knob: isolates the message-count reduction
+	// from the per-loop-exchange elimination.
+	NoGroupedMsgs bool
+	// GPUDirect transfers halos GPU-to-GPU without PCIe staging, but —
+	// as the paper observed on Cirrus (Section 3.3) — the transfers do
+	// not overlap with compute kernels, so core computation no longer
+	// hides communication. Only meaningful on GPU machines.
+	GPUDirect bool
+	// Lazy defers loop execution and auto-detects chains at runtime (the
+	// paper's stated future work: code-gen automation via lazy
+	// evaluation). Loops queue until a synchronisation point — a global
+	// reduction, an observation (GatherDat, MaxClock, Stats), an explicit
+	// chain boundary, or MaxChainLen loops — then execute as a CA chain
+	// when feasible, falling back to per-loop execution otherwise.
+	// Requires CA.
+	Lazy bool
+}
+
+// validity tracks how many halo shells of a dat currently hold owner-fresh
+// values; 0 means dirty (the paper's dirty-bit generalised to depth).
+type validity struct{ exec, nonexec int }
+
+// Backend is the distributed-memory OP2 back-end (standard and CA).
+type Backend struct {
+	cfg     Config
+	net     netsim.Network
+	owners  [][]int32
+	layouts []*halo.Layout
+	// dats[rank][datID] is the rank-local storage of each dat.
+	dats  [][][]float64
+	valid []validity
+	clock []float64
+	stats *Stats
+
+	rec   *recording
+	lazyQ []core.Loop
+}
+
+// recording buffers the loops of an open chain.
+type recording struct {
+	name  string
+	loops []core.Loop
+}
+
+// New builds the distributed back-end: derives per-set ownership, constructs
+// halo layouts, and scatters every dat into per-rank local storage.
+func New(cfg Config) (*Backend, error) {
+	if cfg.Prog == nil || cfg.Primary == nil {
+		return nil, fmt.Errorf("cluster: Prog and Primary are required")
+	}
+	if cfg.NParts < 1 {
+		return nil, fmt.Errorf("cluster: NParts %d < 1", cfg.NParts)
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 1
+	}
+	if cfg.MaxChainLen == 0 {
+		cfg.MaxChainLen = 8
+	}
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Laptop()
+	}
+	owners, err := halo.DeriveOwnership(cfg.Prog, cfg.Primary, cfg.Assign)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		cfg: cfg,
+		net: netsim.Network{Latency: cfg.Machine.Latency, Bandwidth: cfg.Machine.Bandwidth,
+			EagerThreshold: cfg.Machine.EagerThreshold},
+		owners:  owners,
+		layouts: halo.Build(cfg.Prog, owners, cfg.NParts, cfg.Depth, cfg.MaxChainLen),
+		dats:    make([][][]float64, cfg.NParts),
+		valid:   make([]validity, len(cfg.Prog.Dats)),
+		clock:   make([]float64, cfg.NParts),
+		stats:   newStats(),
+	}
+	for r := range b.dats {
+		b.dats[r] = make([][]float64, len(cfg.Prog.Dats))
+		for _, d := range cfg.Prog.Dats {
+			sl := b.layouts[r].SetL(d.Set)
+			local := make([]float64, sl.Total()*d.Dim)
+			for loc := 0; loc < sl.Total(); loc++ {
+				g := int(sl.L2G[loc])
+				copy(local[loc*d.Dim:(loc+1)*d.Dim], d.Data[g*d.Dim:(g+1)*d.Dim])
+			}
+			b.dats[r][d.ID] = local
+		}
+	}
+	for i := range b.valid {
+		b.valid[i] = validity{exec: cfg.Depth, nonexec: cfg.Depth}
+	}
+	return b, nil
+}
+
+// Name implements core.Backend.
+func (b *Backend) Name() string {
+	if b.cfg.CA {
+		return "cluster-ca"
+	}
+	return "cluster-op2"
+}
+
+// Stats returns the instrumentation counters, flushing any lazily queued
+// loops first.
+func (b *Backend) Stats() *Stats {
+	b.FlushLazy()
+	return b.stats
+}
+
+// Clocks returns the per-rank virtual clocks, flushing any lazily queued
+// loops first.
+func (b *Backend) Clocks() []float64 {
+	b.FlushLazy()
+	return b.clock
+}
+
+// MaxClock returns the virtual time of the slowest rank, flushing any
+// lazily queued loops first.
+func (b *Backend) MaxClock() float64 {
+	b.FlushLazy()
+	return b.maxClock()
+}
+
+// maxClock is MaxClock without the lazy flush, for internal accounting.
+func (b *Backend) maxClock() float64 {
+	m := 0.0
+	for _, t := range b.clock {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// NParts returns the rank count.
+func (b *Backend) NParts() int { return b.cfg.NParts }
+
+// ChainBegin implements core.Backend: start recording a loop-chain. An
+// explicit chain boundary flushes any lazily queued loops first.
+func (b *Backend) ChainBegin(name string) {
+	if b.rec != nil {
+		panic(fmt.Sprintf("cluster: nested loop-chain %q inside %q", name, b.rec.name))
+	}
+	b.FlushLazy()
+	b.rec = &recording{name: name}
+}
+
+// ChainEnd implements core.Backend: execute the recorded chain, with
+// Algorithm 2 when CA is enabled and the chain is not disabled by
+// configuration, else as ordinary per-loop OP2 code.
+func (b *Backend) ChainEnd() {
+	if b.rec == nil {
+		panic("cluster: ChainEnd without ChainBegin")
+	}
+	rec := b.rec
+	b.rec = nil
+
+	cs := b.stats.chain(rec.name)
+	cs.Executions++
+	cs.NLoop = len(rec.loops)
+
+	chainCfg := b.cfg.Chains.Get(rec.name)
+	useCA := b.cfg.CA && len(rec.loops) > 1 && (chainCfg == nil || !chainCfg.Disabled)
+	if !useCA {
+		t0 := b.maxClock()
+		for _, l := range rec.loops {
+			b.runStandard(l, rec.name)
+		}
+		cs.Time += b.maxClock() - t0
+		return
+	}
+	b.runChain(rec.name, rec.loops, chainCfg, cs)
+}
+
+// ParLoop implements core.Backend.
+func (b *Backend) ParLoop(l core.Loop) {
+	if err := l.Validate(); err != nil {
+		panic("cluster: " + err.Error())
+	}
+	if b.rec != nil {
+		if l.HasGlobalReduction() {
+			panic(fmt.Sprintf("cluster: loop %q with global reduction inside chain %q",
+				l.Kernel.Name, b.rec.name))
+		}
+		b.rec.loops = append(b.rec.loops, l)
+		return
+	}
+	if b.cfg.Lazy && b.cfg.CA {
+		if l.HasGlobalReduction() {
+			// A global reduction is a synchronisation point: it ends any
+			// implicit chain.
+			b.FlushLazy()
+			b.runStandard(l, "")
+			return
+		}
+		b.lazyQ = append(b.lazyQ, l)
+		if len(b.lazyQ) >= b.cfg.MaxChainLen {
+			b.FlushLazy()
+		}
+		return
+	}
+	b.runStandard(l, "")
+}
+
+// FlushLazy executes any lazily queued loops: as an automatically detected
+// CA chain when two or more loops are queued and their dependencies allow,
+// else as ordinary per-loop code. It is a no-op outside lazy mode or when
+// the queue is empty.
+func (b *Backend) FlushLazy() {
+	q := b.lazyQ
+	if len(q) == 0 {
+		return
+	}
+	b.lazyQ = nil
+	if len(q) == 1 {
+		b.runStandard(q[0], "")
+		return
+	}
+	cs := b.stats.chain("lazy")
+	cs.Executions++
+	cs.NLoop = len(q)
+	b.runChainAuto("lazy", q, cs)
+}
+
+// GatherDat assembles the global values of d from the owning ranks,
+// flushing any lazily queued loops first (it observes their results).
+func (b *Backend) GatherDat(d *core.Dat) []float64 {
+	b.FlushLazy()
+	out := make([]float64, d.Set.Size*d.Dim)
+	for r := 0; r < b.cfg.NParts; r++ {
+		sl := b.layouts[r].SetL(d.Set)
+		local := b.dats[r][d.ID]
+		for loc := 0; loc < sl.NOwned; loc++ {
+			g := int(sl.L2G[loc])
+			copy(out[g*d.Dim:(g+1)*d.Dim], local[loc*d.Dim:(loc+1)*d.Dim])
+		}
+	}
+	return out
+}
+
+// ScatterDat pushes fresh global values of d to every rank (owned and halo
+// copies), marking the dat fully valid. Use it to (re)initialise data
+// between experiment phases.
+func (b *Backend) ScatterDat(d *core.Dat, global []float64) {
+	b.FlushLazy()
+	if len(global) != d.Set.Size*d.Dim {
+		panic(fmt.Sprintf("cluster: ScatterDat %s: %d values, want %d", d.Name, len(global), d.Set.Size*d.Dim))
+	}
+	for r := 0; r < b.cfg.NParts; r++ {
+		sl := b.layouts[r].SetL(d.Set)
+		local := b.dats[r][d.ID]
+		for loc := 0; loc < sl.Total(); loc++ {
+			g := int(sl.L2G[loc])
+			copy(local[loc*d.Dim:(loc+1)*d.Dim], global[g*d.Dim:(g+1)*d.Dim])
+		}
+	}
+	b.valid[d.ID] = validity{exec: b.cfg.Depth, nonexec: b.cfg.Depth}
+}
+
+// forEachRank runs f for every rank, in parallel when configured. f must
+// only touch rank-local state.
+func (b *Backend) forEachRank(f func(r int)) {
+	if !b.cfg.Parallel || b.cfg.NParts == 1 {
+		for r := 0; r < b.cfg.NParts; r++ {
+			f(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < b.cfg.NParts; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			f(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// runLoopOnRank executes iterations [lo, hi) of loop l on rank r.
+// gblScratch, when non-nil, holds per-argument redirection buffers for
+// global reduction arguments.
+func (b *Backend) runLoopOnRank(r int, l core.Loop, lo, hi int, gblScratch [][]float64) {
+	if lo >= hi {
+		return
+	}
+	nargs := len(l.Args)
+	views := make([][]float64, l.NumViews())
+	data := make([][]float64, nargs)
+	maps := make([][]int32, nargs)
+	for i, a := range l.Args {
+		switch {
+		case a.IsGlobal():
+			continue
+		case a.Indirect():
+			data[i] = b.dats[r][a.Dat.ID]
+			maps[i] = b.layouts[r].MapL(a.Map)
+		default:
+			data[i] = b.dats[r][a.Dat.ID]
+		}
+	}
+	deref := func(i int, a core.Arg, iter, slot int) []float64 {
+		e := int(maps[i][iter*a.Map.Arity+slot])
+		if e < 0 {
+			panic(fmt.Sprintf("cluster: rank %d loop %q iteration %d dereferences element beyond halo depth (map %s slot %d)",
+				r, l.Kernel.Name, iter, a.Map.Name, slot))
+		}
+		return data[i][e*a.Dat.Dim : (e+1)*a.Dat.Dim]
+	}
+	for iter := lo; iter < hi; iter++ {
+		vi := 0
+		for i, a := range l.Args {
+			switch {
+			case a.IsGlobal():
+				if gblScratch != nil && gblScratch[i] != nil {
+					views[vi] = gblScratch[i]
+				} else {
+					views[vi] = a.Gbl
+				}
+				vi++
+			case a.Indirect() && a.Idx == core.VecAll:
+				for slot := 0; slot < a.Map.Arity; slot++ {
+					views[vi] = deref(i, a, iter, slot)
+					vi++
+				}
+			case a.Indirect():
+				views[vi] = deref(i, a, iter, a.Idx)
+				vi++
+			default:
+				views[vi] = data[i][iter*a.Dat.Dim : (iter+1)*a.Dat.Dim]
+				vi++
+			}
+		}
+		l.Kernel.Fn(views)
+	}
+}
+
+// prepareGlobals returns per-rank scratch buffers for global reduction
+// arguments of l (identity-initialised), or nil when l has none.
+func (b *Backend) prepareGlobals(l core.Loop) [][][]float64 {
+	if !l.HasGlobalReduction() {
+		return nil
+	}
+	scratch := make([][][]float64, b.cfg.NParts)
+	for r := range scratch {
+		scratch[r] = make([][]float64, len(l.Args))
+		for i, a := range l.Args {
+			if !a.IsGlobal() || a.Mode == core.Read {
+				continue
+			}
+			buf := make([]float64, len(a.Gbl))
+			switch a.Mode {
+			case core.Min:
+				for j := range buf {
+					buf[j] = math.Inf(1)
+				}
+			case core.Max:
+				for j := range buf {
+					buf[j] = math.Inf(-1)
+				}
+			}
+			scratch[r][i] = buf
+		}
+	}
+	return scratch
+}
+
+// reduceGlobals combines per-rank partial reductions into the user buffers
+// and returns the payload bytes reduced (for the allreduce time charge).
+func (b *Backend) reduceGlobals(l core.Loop, scratch [][][]float64) int64 {
+	if scratch == nil {
+		return 0
+	}
+	var bytes int64
+	for i, a := range l.Args {
+		if !a.IsGlobal() || a.Mode == core.Read {
+			continue
+		}
+		bytes += int64(len(a.Gbl) * 8)
+		for r := 0; r < b.cfg.NParts; r++ {
+			part := scratch[r][i]
+			for j := range a.Gbl {
+				switch a.Mode {
+				case core.Inc:
+					a.Gbl[j] += part[j]
+				case core.Min:
+					if part[j] < a.Gbl[j] {
+						a.Gbl[j] = part[j]
+					}
+				case core.Max:
+					if part[j] > a.Gbl[j] {
+						a.Gbl[j] = part[j]
+					}
+				}
+			}
+		}
+	}
+	return bytes
+}
+
+// updateValidity applies OP2's dirty-bit rule after executing loop l: any
+// dat the loop writes (OP_WRITE, OP_INC or OP_RW, direct or indirect) has
+// stale halo copies afterwards and must be re-exchanged before its next
+// halo-dependent read.
+func (b *Backend) updateValidity(l core.Loop) {
+	for _, a := range l.Args {
+		if a.IsGlobal() || !a.Mode.Writes() {
+			continue
+		}
+		b.valid[a.Dat.ID] = validity{}
+	}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"op2ca/internal/ca"
+	"op2ca/internal/chaincfg"
+	"op2ca/internal/core"
+)
+
+// runChain executes a loop-chain with the communication-avoiding scheme of
+// Algorithm 2: inspect (Algorithm 3 plus configuration overrides), exchange
+// one grouped message per neighbour covering all required halo shells, run
+// every loop's core region while messages are in flight, wait once, then run
+// every loop's halo regions up to its halo extension.
+func (b *Backend) runChain(name string, loops []core.Loop, cfgChain *chaincfg.Chain, cs *ChainStats) {
+	b.runChainImpl(name, loops, cfgChain, cs, false)
+}
+
+// runChainAuto is runChain for automatically detected (lazy) chains:
+// instead of treating an under-built halo depth as a configuration error,
+// it falls back to per-loop execution.
+func (b *Backend) runChainAuto(name string, loops []core.Loop, cs *ChainStats) {
+	b.runChainImpl(name, loops, b.cfg.Chains.Get(name), cs, true)
+}
+
+func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincfg.Chain, cs *ChainStats, auto bool) {
+	t0 := b.maxClock()
+	m := b.cfg.Machine
+
+	fallback := func() {
+		for _, l := range loops {
+			b.runStandard(l, name)
+		}
+		cs.Time += b.maxClock() - t0
+	}
+
+	var overrides []int
+	if cfgChain != nil {
+		var err error
+		overrides, err = cfgChain.HEOverrides(len(loops))
+		if err != nil {
+			panic("cluster: " + err.Error())
+		}
+	}
+	plan, err := ca.Inspect(name, loops, overrides)
+	if errors.Is(err, ca.ErrInfeasible) {
+		// Dependencies not satisfiable by redundant computation: run the
+		// chain as ordinary per-loop OP2 code.
+		fallback()
+		return
+	}
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	if plan.MaxDepth > b.cfg.Depth {
+		if auto {
+			fallback()
+			return
+		}
+		panic(fmt.Sprintf("cluster: chain %q needs halo depth %d but the back-end was built with Depth %d; raise Config.Depth",
+			name, plan.MaxDepth, b.cfg.Depth))
+	}
+	if len(loops) > b.cfg.MaxChainLen {
+		if auto {
+			fallback()
+			return
+		}
+		panic(fmt.Sprintf("cluster: chain %q has %d loops but the back-end was built with MaxChainLen %d; raise Config.MaxChainLen",
+			name, len(loops), b.cfg.MaxChainLen))
+	}
+
+	specs := make([]exchangeSpec, 0, len(plan.Required))
+	for _, r := range plan.Required {
+		specs = append(specs, exchangeSpec{dat: r.Dat, execDepth: r.ExecDepth, nonexecDepth: r.NonexecDepth})
+	}
+	specs = b.filterNeeds(specs)
+	res := b.doExchange(specs, !b.cfg.NoGroupedMsgs)
+	exchanging := len(res.msgs) > 0
+
+	n := len(loops)
+	g := make([]float64, n)
+	for i, l := range loops {
+		g[i] = m.IterTime(l.Kernel)
+	}
+	launch := m.LaunchOverhead()
+
+	coreEnds := make([][]int, b.cfg.NParts)
+	haloIters := make([][]int, b.cfg.NParts)
+	post := make([]float64, b.cfg.NParts)
+	b.forEachRank(func(r int) {
+		lay := b.layouts[r]
+		cores := make([]int, n)
+		halos := make([]int, n)
+		type nxRange struct{ lo, hi int }
+		execEnd := make([]int, n)
+		nx := make([]nxRange, n)
+		for i, l := range loops {
+			sl := lay.SetL(l.Set)
+			e := sl.ExecEnd(plan.HE[i])
+			c := e
+			if exchanging {
+				c = min(sl.CorePrefix(i), e)
+			}
+			cores[i], execEnd[i] = c, e
+			halos[i] = e - c
+			if plan.HN[i] > 0 {
+				// Direct loops additionally refresh non-execute halo
+				// copies of their outputs by iterating them.
+				nx[i] = nxRange{int(sl.NonexecStart[0]), int(sl.NonexecStart[plan.HN[i]])}
+				halos[i] += nx[i].hi - nx[i].lo
+			}
+		}
+		if exchanging {
+			// Phase 1 (Algorithm 2 lines 8-12): core regions of every
+			// loop, in chain order, while the grouped message is in
+			// flight.
+			for i, l := range loops {
+				b.runLoopOnRank(r, l, 0, cores[i], nil)
+			}
+			// Phase 2 (lines 14-18): halo regions after the wait, in
+			// chain order.
+			for i, l := range loops {
+				b.runLoopOnRank(r, l, cores[i], execEnd[i], nil)
+				b.runLoopOnRank(r, l, nx[i].lo, nx[i].hi, nil)
+			}
+		} else {
+			// Nothing in flight: run each loop completely, in order.
+			for i, l := range loops {
+				b.runLoopOnRank(r, l, 0, execEnd[i], nil)
+				b.runLoopOnRank(r, l, nx[i].lo, nx[i].hi, nil)
+			}
+		}
+		coreEnds[r], haloIters[r] = cores, halos
+		post[r] = b.clock[r] + float64(res.sendBytes[r])/m.PackRate
+		if !b.cfg.GPUDirect {
+			post[r] += m.StageTime(res.sendBytes[r])
+		}
+	})
+	gpuDirect := b.cfg.GPUDirect && m.GPU != nil
+
+	arrivals := b.net.Deliver(post, res.msgs)
+	recvLast := make([]float64, b.cfg.NParts)
+	for i, msg := range res.msgs {
+		if arrivals[i] > recvLast[msg.To] {
+			recvLast[msg.To] = arrivals[i]
+		}
+	}
+	for r := 0; r < b.cfg.NParts; r++ {
+		var t float64
+		if gpuDirect {
+			// GPUDirect transfers do not overlap with compute kernels
+			// (the paper's observation on Cirrus): all computation waits
+			// for the exchange, then runs back to back.
+			t = post[r]
+			if recvLast[r] > t {
+				t = recvLast[r]
+			}
+			if !b.cfg.NoGroupedMsgs {
+				t += float64(res.recvBytes[r]) / m.PackRate
+			}
+			for i := range loops {
+				t += launch + g[i]*float64(coreEnds[r][i])
+				if halo := haloIters[r][i]; halo > 0 {
+					if exchanging {
+						t += launch
+					}
+					t += g[i] * float64(halo)
+				}
+			}
+			b.clock[r] = t
+			continue
+		}
+		afterCore := post[r]
+		for i := range loops {
+			afterCore += launch + g[i]*float64(coreEnds[r][i])
+		}
+		t = afterCore
+		if recvLast[r] > 0 {
+			ready := recvLast[r] + m.StageTime(res.recvBytes[r])
+			if !b.cfg.NoGroupedMsgs {
+				// Unpacking the grouped message into the per-dat arrays
+				// is the c term of Equation (3); per-dat messages land
+				// directly and pay nothing here.
+				ready += float64(res.recvBytes[r]) / m.PackRate
+			}
+			if ready > t {
+				t = ready
+			}
+		}
+		for i := range loops {
+			if halo := haloIters[r][i]; halo > 0 {
+				if exchanging {
+					t += launch
+				}
+				t += g[i] * float64(halo)
+			}
+		}
+		b.clock[r] = t
+	}
+
+	for _, l := range loops {
+		b.updateValidity(l)
+	}
+
+	cs.CAExecutions++
+	cs.HE = append([]int(nil), plan.HE...)
+	cs.Msgs += int64(len(res.msgs))
+	cs.Bytes += bytesTotal(res)
+	cs.DatsExchanged += int64(res.nDats)
+	perRank := map[int32]int{}
+	for _, msg := range res.msgs {
+		perRank[msg.From]++
+		if msg.Bytes > cs.MaxMsgBytes {
+			cs.MaxMsgBytes = msg.Bytes
+		}
+	}
+	for _, c := range perRank {
+		if c > cs.MaxNeighbours {
+			cs.MaxNeighbours = c
+		}
+	}
+	for r := range res.sendBytes {
+		if res.sendBytes[r] > cs.MaxRankBytes {
+			cs.MaxRankBytes = res.sendBytes[r]
+		}
+	}
+	for r := 0; r < b.cfg.NParts; r++ {
+		for i := 0; i < n; i++ {
+			cs.CoreIters += int64(coreEnds[r][i])
+			cs.HaloIters += int64(haloIters[r][i])
+		}
+	}
+	cs.Time += b.maxClock() - t0
+}
+
+func bytesTotal(res exchangeResult) int64 {
+	var total int64
+	for _, msg := range res.msgs {
+		total += msg.Bytes
+	}
+	return total
+}

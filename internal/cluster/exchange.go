@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+
+	"op2ca/internal/core"
+	"op2ca/internal/halo"
+	"op2ca/internal/netsim"
+)
+
+// exchangeSpec asks for halo shells of one dat: execute shells 1..execDepth
+// and non-execute shells 1..nonexecDepth.
+type exchangeSpec struct {
+	dat          *core.Dat
+	execDepth    int
+	nonexecDepth int
+}
+
+// sendBuf is one packed message. Standard OP2 sends one buffer per
+// (dat, halo kind, shell, neighbour); the CA back-end groups everything for
+// one neighbour into a single buffer (datID < 0), the paper's Figure 8.
+type sendBuf struct {
+	from, to int32
+	datID    int32 // -1 for grouped messages
+	kind     int8  // 0 execute, 1 non-execute
+	depth    int8  // shell index, 0-based
+	vals     []float64
+}
+
+// exchangeResult summarises one exchange: the virtual-network messages (in
+// per-sender serialisation order) and per-rank byte totals.
+type exchangeResult struct {
+	msgs      []netsim.Message
+	bufs      []*sendBuf
+	sendBytes []int64
+	recvBytes []int64
+	nDats     int
+}
+
+// doExchange packs, "transfers" and unpacks halo data for the given specs.
+// The data movement is real (receivers' halo copies are overwritten with
+// owners' current values); the returned result carries what the virtual
+// network needs to charge time.
+func (b *Backend) doExchange(specs []exchangeSpec, grouped bool) exchangeResult {
+	res := exchangeResult{
+		sendBytes: make([]int64, b.cfg.NParts),
+		recvBytes: make([]int64, b.cfg.NParts),
+		nDats:     len(specs),
+	}
+	if len(specs) == 0 {
+		return res
+	}
+
+	// Pack.
+	perRank := make([][]*sendBuf, b.cfg.NParts)
+	b.forEachRank(func(r int) {
+		var bufs []*sendBuf
+		byDest := map[int32]*sendBuf{}
+		for _, sp := range specs {
+			sl := b.layouts[r].SetL(sp.dat.Set)
+			local := b.dats[r][sp.dat.ID]
+			dim := sp.dat.Dim
+			pack := func(exports [][]halo.ExportList, depth int, kind int8) {
+				for d := 0; d < depth; d++ {
+					for _, ex := range exports[d] {
+						if len(ex.Locals) == 0 {
+							continue
+						}
+						var buf *sendBuf
+						if grouped {
+							buf = byDest[ex.Rank]
+							if buf == nil {
+								buf = &sendBuf{from: int32(r), to: ex.Rank, datID: -1}
+								byDest[ex.Rank] = buf
+								bufs = append(bufs, buf)
+							}
+						} else {
+							buf = &sendBuf{from: int32(r), to: ex.Rank,
+								datID: int32(sp.dat.ID), kind: kind, depth: int8(d)}
+							bufs = append(bufs, buf)
+						}
+						for _, loc := range ex.Locals {
+							buf.vals = append(buf.vals, local[int(loc)*dim:(int(loc)+1)*dim]...)
+						}
+					}
+				}
+			}
+			pack(sl.ExportExec, sp.execDepth, 0)
+			pack(sl.ExportNonexec, sp.nonexecDepth, 1)
+		}
+		perRank[r] = bufs
+	})
+	for r := 0; r < b.cfg.NParts; r++ {
+		for _, buf := range perRank[r] {
+			bytes := int64(len(buf.vals) * 8)
+			res.bufs = append(res.bufs, buf)
+			res.msgs = append(res.msgs, netsim.Message{From: buf.from, To: buf.to, Bytes: bytes})
+			res.sendBytes[buf.from] += bytes
+			res.recvBytes[buf.to] += bytes
+		}
+	}
+
+	// Unpack.
+	inbound := make([][]*sendBuf, b.cfg.NParts)
+	for _, buf := range res.bufs {
+		inbound[buf.to] = append(inbound[buf.to], buf)
+	}
+	b.forEachRank(func(r int) {
+		if grouped {
+			b.unpackGrouped(r, specs, inbound[r])
+			return
+		}
+		for _, buf := range inbound[r] {
+			b.unpackSingle(r, buf)
+		}
+	})
+	return res
+}
+
+// unpackSingle applies one standard per-dat message into rank r's halo.
+func (b *Backend) unpackSingle(r int, buf *sendBuf) {
+	d := b.cfg.Prog.Dats[buf.datID]
+	sl := b.layouts[r].SetL(d.Set)
+	ranges := sl.ImportExec
+	if buf.kind == 1 {
+		ranges = sl.ImportNonexec
+	}
+	for _, rg := range ranges[buf.depth] {
+		if rg.Rank != buf.from {
+			continue
+		}
+		want := int(rg.Count) * d.Dim
+		if len(buf.vals) != want {
+			panic(fmt.Sprintf("cluster: rank %d: message for dat %s from rank %d has %d values, want %d",
+				r, d.Name, buf.from, len(buf.vals), want))
+		}
+		copy(b.dats[r][d.ID][int(rg.Start)*d.Dim:], buf.vals)
+		return
+	}
+	panic(fmt.Sprintf("cluster: rank %d: unexpected message for dat %s from rank %d", r, d.Name, buf.from))
+}
+
+// unpackGrouped applies grouped messages into rank r's halo, walking the
+// specs in the exact order senders packed them.
+func (b *Backend) unpackGrouped(r int, specs []exchangeSpec, inbound []*sendBuf) {
+	cursor := map[int32]int{}
+	bySrc := map[int32]*sendBuf{}
+	for _, buf := range inbound {
+		bySrc[buf.from] = buf
+	}
+	take := func(src int32, n int) []float64 {
+		buf := bySrc[src]
+		if buf == nil {
+			panic(fmt.Sprintf("cluster: rank %d: missing grouped message from rank %d", r, src))
+		}
+		at := cursor[src]
+		if at+n > len(buf.vals) {
+			panic(fmt.Sprintf("cluster: rank %d: grouped message from rank %d truncated (%d of %d values)",
+				r, src, len(buf.vals)-at, n))
+		}
+		cursor[src] = at + n
+		return buf.vals[at : at+n]
+	}
+	for _, sp := range specs {
+		sl := b.layouts[r].SetL(sp.dat.Set)
+		local := b.dats[r][sp.dat.ID]
+		dim := sp.dat.Dim
+		unpack := func(ranges [][]halo.ImportRange, depth int) {
+			for d := 0; d < depth; d++ {
+				for _, rg := range ranges[d] {
+					copy(local[int(rg.Start)*dim:], take(rg.Rank, int(rg.Count)*dim))
+				}
+			}
+		}
+		unpack(sl.ImportExec, sp.execDepth)
+		unpack(sl.ImportNonexec, sp.nonexecDepth)
+	}
+	for src, buf := range bySrc {
+		if cursor[src] != len(buf.vals) {
+			panic(fmt.Sprintf("cluster: rank %d: grouped message from rank %d has %d trailing values",
+				r, src, len(buf.vals)-cursor[src]))
+		}
+	}
+}
+
+// filterNeeds drops the parts of the requested exchanges already satisfied
+// by the current validity state and bumps validity for what will be
+// exchanged.
+func (b *Backend) filterNeeds(specs []exchangeSpec) []exchangeSpec {
+	var out []exchangeSpec
+	for _, sp := range specs {
+		v := &b.valid[sp.dat.ID]
+		needE, needN := 0, 0
+		if sp.execDepth > v.exec {
+			needE = sp.execDepth
+		}
+		if sp.nonexecDepth > v.nonexec {
+			needN = sp.nonexecDepth
+		}
+		if needE == 0 && needN == 0 {
+			continue
+		}
+		out = append(out, exchangeSpec{dat: sp.dat, execDepth: needE, nonexecDepth: needN})
+		if needE > v.exec {
+			v.exec = needE
+		}
+		if needN > v.nonexec {
+			v.nonexec = needN
+		}
+	}
+	return out
+}
+
+// standardNeeds lists the depth-1 halo requirements of one standalone loop,
+// OP2's per-loop dirty-bit rule: indirectly read dats need both halo kinds;
+// directly read dats in indirect loops need the execute halo (their values
+// are consumed by redundant halo iterations).
+func standardNeeds(l core.Loop) []exchangeSpec {
+	if !l.HasIndirection() {
+		return nil
+	}
+	need := map[*core.Dat]*exchangeSpec{}
+	var order []*core.Dat
+	add := func(d *core.Dat, e, n int) {
+		sp, ok := need[d]
+		if !ok {
+			sp = &exchangeSpec{dat: d}
+			need[d] = sp
+			order = append(order, d)
+		}
+		if e > sp.execDepth {
+			sp.execDepth = e
+		}
+		if n > sp.nonexecDepth {
+			sp.nonexecDepth = n
+		}
+	}
+	for _, a := range l.Args {
+		if a.IsGlobal() {
+			continue
+		}
+		switch {
+		case a.Indirect() && (a.Mode == core.Read || a.Mode == core.ReadWrite):
+			add(a.Dat, 1, 1)
+		case !a.Indirect() && a.Mode.Reads():
+			add(a.Dat, 1, 0)
+		}
+	}
+	out := make([]exchangeSpec, 0, len(order))
+	for _, d := range order {
+		out = append(out, *need[d])
+	}
+	return out
+}

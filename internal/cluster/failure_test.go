@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"op2ca/internal/core"
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+// failureFixture builds a 2-rank backend with a node dat whose halo is
+// dirty, ready for exchange-layer fault injection.
+func failureFixture(t *testing.T) (*Backend, []exchangeSpec) {
+	t.Helper()
+	m := mesh.Rotor(6, 5, 4)
+	p := core.NewProgram()
+	nodes := p.DeclSet(m.NNodes, "nodes")
+	edges := p.DeclSet(m.NEdges, "edges")
+	e2n := p.DeclMap(edges, nodes, 2, m.EdgeNodes, "e2n")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	b, err := New(Config{Prog: p, Primary: nodes,
+		Assign: partition.Block(m.NNodes, 2), NParts: 2, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e2n
+	specs := []exchangeSpec{{dat: x, execDepth: 1, nonexecDepth: 1}}
+	return b, specs
+}
+
+func expectPanicContaining(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+// TestTruncatedGroupedMessagePanics: a grouped message shorter than the
+// importer's layout implies must be detected, not silently mis-unpacked.
+func TestTruncatedGroupedMessagePanics(t *testing.T) {
+	b, specs := failureFixture(t)
+	res := b.doExchange(specs, true)
+	if len(res.bufs) == 0 {
+		t.Fatal("fixture produced no messages")
+	}
+	buf := res.bufs[0]
+	truncated := &sendBuf{from: buf.from, to: buf.to, datID: -1,
+		vals: buf.vals[:len(buf.vals)-1]}
+	expectPanicContaining(t, "truncated", func() {
+		b.unpackGrouped(int(truncated.to), specs, []*sendBuf{truncated})
+	})
+}
+
+// TestOversizedGroupedMessagePanics: trailing bytes mean sender and
+// receiver disagree about the halo layout.
+func TestOversizedGroupedMessagePanics(t *testing.T) {
+	b, specs := failureFixture(t)
+	res := b.doExchange(specs, true)
+	buf := res.bufs[0]
+	oversized := &sendBuf{from: buf.from, to: buf.to, datID: -1,
+		vals: append(append([]float64(nil), buf.vals...), 1.0)}
+	expectPanicContaining(t, "trailing", func() {
+		b.unpackGrouped(int(oversized.to), specs, []*sendBuf{oversized})
+	})
+}
+
+// TestMissingGroupedMessagePanics: an expected neighbour that never sends.
+func TestMissingGroupedMessagePanics(t *testing.T) {
+	b, specs := failureFixture(t)
+	res := b.doExchange(specs, true)
+	to := int(res.bufs[0].to)
+	expectPanicContaining(t, "missing grouped message", func() {
+		b.unpackGrouped(to, specs, nil)
+	})
+}
+
+// TestWrongSizeSingleMessagePanics: a per-dat message whose payload does
+// not match the import range.
+func TestWrongSizeSingleMessagePanics(t *testing.T) {
+	b, specs := failureFixture(t)
+	res := b.doExchange(specs, false)
+	if len(res.bufs) == 0 {
+		t.Fatal("fixture produced no messages")
+	}
+	var target *sendBuf
+	for _, buf := range res.bufs {
+		if len(buf.vals) > 1 {
+			target = buf
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no multi-value message to corrupt")
+	}
+	bad := &sendBuf{from: target.from, to: target.to, datID: target.datID,
+		kind: target.kind, depth: target.depth, vals: target.vals[:len(target.vals)-1]}
+	expectPanicContaining(t, "values, want", func() {
+		b.unpackSingle(int(bad.to), bad)
+	})
+}
+
+// TestForeignSingleMessagePanics: a message from a rank the receiver does
+// not import from.
+func TestForeignSingleMessagePanics(t *testing.T) {
+	b, specs := failureFixture(t)
+	res := b.doExchange(specs, false)
+	buf := res.bufs[0]
+	foreign := &sendBuf{from: buf.to, to: buf.to, datID: buf.datID,
+		kind: buf.kind, depth: buf.depth, vals: buf.vals}
+	expectPanicContaining(t, "unexpected message", func() {
+		b.unpackSingle(int(foreign.to), foreign)
+	})
+}
+
+// TestBeyondHaloDereferencePanics: executing an iteration whose map row
+// reaches beyond the built halo must panic with a diagnostic rather than
+// corrupt memory.
+func TestBeyondHaloDereferencePanics(t *testing.T) {
+	m := mesh.Rotor(6, 5, 4)
+	p := core.NewProgram()
+	nodes := p.DeclSet(m.NNodes, "nodes")
+	edges := p.DeclSet(m.NEdges, "edges")
+	e2n := p.DeclMap(edges, nodes, 2, m.EdgeNodes, "e2n")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	b, err := New(Config{Prog: p, Primary: nodes,
+		Assign: partition.Random(m.NNodes, 3, 5), NParts: 3, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &core.Kernel{Name: "k", Fn: func(a [][]float64) {}}
+	l := core.NewLoop(k, edges, core.ArgDat(x, 0, e2n, core.Read), core.ArgDat(x, 1, e2n, core.Read))
+	// Find a rank with non-execute edges (never executed normally) and
+	// force execution into that region.
+	for r := 0; r < 3; r++ {
+		sl := b.layouts[r].SetL(edges)
+		if sl.NNonexec(1) == 0 {
+			continue
+		}
+		expectPanicContaining(t, "beyond halo depth", func() {
+			b.runLoopOnRank(r, l, int(sl.NonexecStart[0]), int(sl.NonexecStart[1]), nil)
+		})
+		return
+	}
+	t.Skip("no rank with non-execute edges in this partition")
+}

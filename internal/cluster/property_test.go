@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"op2ca/internal/core"
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+// propApp builds random loop-chains from a family of access-pattern
+// templates over a rotor mesh and checks that CA execution matches the
+// sequential reference exactly (integer-valued data keeps float64 exact).
+type propApp struct {
+	p             *core.Program
+	nodes, edges  *core.Set
+	pedges, bnd   *core.Set
+	e2n, p2n, b2n *core.Map
+	q             []*core.Dat // node dats
+	w             *core.Dat   // edge dat
+}
+
+func newPropApp(m *mesh.FV3D) *propApp {
+	a := &propApp{p: core.NewProgram()}
+	a.nodes = a.p.DeclSet(m.NNodes, "nodes")
+	a.edges = a.p.DeclSet(m.NEdges, "edges")
+	a.pedges = a.p.DeclSet(m.NPedges, "pedges")
+	a.bnd = a.p.DeclSet(m.NBedges, "bnd")
+	a.e2n = a.p.DeclMap(a.edges, a.nodes, 2, m.EdgeNodes, "e2n")
+	a.p2n = a.p.DeclMap(a.pedges, a.nodes, 2, m.PedgeNodes, "p2n")
+	a.b2n = a.p.DeclMap(a.bnd, a.nodes, 1, m.BedgeNodes, "b2n")
+	for i := 0; i < 4; i++ {
+		d := a.p.DeclDat(a.nodes, 1, nil, fmt.Sprintf("q%d", i))
+		for j := range d.Data {
+			d.Data[j] = float64((j+3*i)%7 - 3)
+		}
+		a.q = append(a.q, d)
+	}
+	a.w = a.p.DeclDat(a.edges, 1, nil, "w")
+	for j := range a.w.Data {
+		a.w.Data[j] = float64(j%3 + 1)
+	}
+	return a
+}
+
+var (
+	kInc = &core.Kernel{Name: "p_inc", Fn: func(a [][]float64) {
+		a[0][0] += a[2][0] - a[3][0]
+		a[1][0] += a[3][0] + a[2][0]
+	}}
+	kIncW = &core.Kernel{Name: "p_incw", Fn: func(a [][]float64) {
+		a[0][0] += a[1][0] * a[2][0]
+		_ = a
+	}}
+	kPerRW = &core.Kernel{Name: "p_period", Fn: func(a [][]float64) {
+		s := a[0][0] + a[1][0]
+		a[0][0], a[1][0] = s, s
+	}}
+	kDirW = &core.Kernel{Name: "p_init", Fn: func(a [][]float64) {
+		a[0][0] = a[1][0] * 2
+	}}
+	kDirRW = &core.Kernel{Name: "p_scale", Fn: func(a [][]float64) {
+		a[0][0] = 2*a[0][0] + 1
+	}}
+	kEdgeRW = &core.Kernel{Name: "p_edge", Fn: func(a [][]float64) {
+		a[0][0] = a[0][0] + a[1][0] - a[2][0]
+	}}
+)
+
+var (
+	kVecInc = &core.Kernel{Name: "p_vecinc", Fn: func(a [][]float64) {
+		// Vector args: a[0],a[1] dst slots; a[2],a[3] src slots.
+		a[0][0] += a[2][0] - a[3][0]
+		a[1][0] += a[3][0] + a[2][0]
+	}}
+	kBndInc = &core.Kernel{Name: "p_bnd", Fn: func(a [][]float64) {
+		a[0][0] += 2 * a[1][0]
+	}}
+)
+
+// randomLoop picks one loop template with random dat choices.
+func (a *propApp) randomLoop(rng *rand.Rand) core.Loop {
+	dst := a.q[rng.Intn(len(a.q))]
+	src := a.q[rng.Intn(len(a.q))]
+	for src == dst {
+		src = a.q[(rng.Intn(len(a.q)))]
+	}
+	switch rng.Intn(8) {
+	case 0: // indirect increment reading another node dat
+		return core.NewLoop(kInc, a.edges,
+			core.ArgDat(dst, 0, a.e2n, core.Inc), core.ArgDat(dst, 1, a.e2n, core.Inc),
+			core.ArgDat(src, 0, a.e2n, core.Read), core.ArgDat(src, 1, a.e2n, core.Read))
+	case 1: // indirect increment reading an edge dat directly
+		return core.NewLoop(kIncW, a.edges,
+			core.ArgDat(dst, 0, a.e2n, core.Inc),
+			core.ArgDatDirect(a.w, core.Read),
+			core.ArgDat(src, 1, a.e2n, core.Read))
+	case 2: // periodic read-write
+		return core.NewLoop(kPerRW, a.pedges,
+			core.ArgDat(dst, 0, a.p2n, core.ReadWrite), core.ArgDat(dst, 1, a.p2n, core.ReadWrite))
+	case 3: // direct write from another node dat
+		return core.NewLoop(kDirW, a.nodes,
+			core.ArgDatDirect(dst, core.Write), core.ArgDatDirect(src, core.Read))
+	case 4: // direct read-modify-write
+		return core.NewLoop(kDirRW, a.nodes, core.ArgDatDirect(dst, core.ReadWrite))
+	case 5: // edge dat updated from node dats
+		return core.NewLoop(kEdgeRW, a.edges,
+			core.ArgDatDirect(a.w, core.ReadWrite),
+			core.ArgDat(dst, 0, a.e2n, core.Read), core.ArgDat(src, 1, a.e2n, core.Read))
+	case 6: // vector arguments (OP_ALL over both slots)
+		return core.NewLoop(kVecInc, a.edges,
+			core.ArgDatVec(dst, a.e2n, core.Inc),
+			core.ArgDatVec(src, a.e2n, core.Read))
+	default: // boundary-face increment reading another node dat
+		return core.NewLoop(kBndInc, a.bnd,
+			core.ArgDat(dst, 0, a.b2n, core.Inc),
+			core.ArgDat(src, 0, a.b2n, core.Read))
+	}
+}
+
+func TestRandomChainsCAMatchesSeq(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		ni, nj, nk := rng.Intn(4)+3, rng.Intn(4)+3, rng.Intn(3)+3
+		m := mesh.Rotor(ni, nj, nk)
+		nparts := rng.Intn(5) + 1
+		if nparts > m.NNodes {
+			nparts = m.NNodes
+		}
+		nloops := rng.Intn(4) + 2
+
+		// Template sequence must be identical for both backends; loops
+		// reference dats by object, so build each program's loops from
+		// the same random decisions.
+		seed := rng.Int63()
+		buildLoops := func(a *propApp) []core.Loop {
+			r := rand.New(rand.NewSource(seed))
+			loops := make([]core.Loop, nloops)
+			for i := range loops {
+				loops[i] = a.randomLoop(r)
+			}
+			return loops
+		}
+
+		// Sequential reference. The chain runs twice: the second
+		// execution starts from dirty halos, exercising the grouped
+		// exchange path.
+		ref := newPropApp(m)
+		refLoops := buildLoops(ref)
+		seq := core.NewSeq()
+		for rep := 0; rep < 2; rep++ {
+			seq.ChainBegin("prop")
+			for _, l := range refLoops {
+				seq.ParLoop(l)
+			}
+			seq.ChainEnd()
+		}
+
+		// CA run.
+		var assign partition.Assignment
+		switch trial % 3 {
+		case 0:
+			assign = partition.KWay(m.NodeAdjacency(), nparts)
+		case 1:
+			assign = partition.Block(m.NNodes, nparts)
+		default:
+			assign = partition.Random(m.NNodes, nparts, seed)
+		}
+		ca := newPropApp(m)
+		caLoops := buildLoops(ca)
+		b, err := New(Config{
+			Prog: ca.p, Primary: ca.nodes, Assign: assign, NParts: nparts,
+			Depth: nloops + 1, MaxChainLen: nloops, CA: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			b.ChainBegin("prop")
+			for _, l := range caLoops {
+				b.ParLoop(l)
+			}
+			b.ChainEnd()
+		}
+
+		for i := range ref.q {
+			got := b.GatherDat(ca.q[i])
+			want := ref.q[i].Data
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d (mesh %dx%dx%d, %d parts, %d loops): q%d[%d] = %g, want %g",
+						trial, ni, nj, nk, nparts, nloops, i, j, got[j], want[j])
+				}
+			}
+		}
+		gotW := b.GatherDat(ca.w)
+		for j := range ref.w.Data {
+			if gotW[j] != ref.w.Data[j] {
+				t.Fatalf("trial %d: w[%d] = %g, want %g", trial, j, gotW[j], ref.w.Data[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LoopStats aggregates the executions of one named loop outside chains.
+type LoopStats struct {
+	Name string
+	// Executions counts op_par_loop calls.
+	Executions int
+	// Msgs and Bytes total the halo messages sent across all ranks.
+	Msgs  int64
+	Bytes int64
+	// DatsExchanged totals, over executions, the number of dats whose
+	// halos were exchanged (the d_l term).
+	DatsExchanged int64
+	// MaxNeighbours is the largest per-rank neighbour count seen (p).
+	MaxNeighbours int
+	// MaxMsgBytes is the largest single message (m).
+	MaxMsgBytes int64
+	// CoreIters and HaloIters split iterations into those overlapped with
+	// communication and those executed after the wait, totalled over
+	// ranks and executions.
+	CoreIters int64
+	HaloIters int64
+	// Time is the virtual wall time attributed to this loop (max over
+	// ranks, summed over executions).
+	Time float64
+}
+
+// ChainStats aggregates the executions of one named loop-chain.
+type ChainStats struct {
+	Name  string
+	NLoop int
+	// Executions counts ChainEnd calls; CAExecutions counts those that
+	// ran with Algorithm 2 rather than falling back to per-loop code.
+	Executions   int
+	CAExecutions int
+	// HE records the halo extension of each loop from the last CA run.
+	HE []int
+	// Msgs and Bytes total the grouped messages.
+	Msgs  int64
+	Bytes int64
+	// DatsExchanged totals dats included in the grouped message.
+	DatsExchanged int64
+	// MaxNeighbours is the largest per-rank neighbour count (p).
+	MaxNeighbours int
+	// MaxMsgBytes is the largest single grouped message (the m^r term).
+	MaxMsgBytes int64
+	// MaxRankBytes is the largest per-rank total grouped send volume
+	// (the p*m^r proxy of Table 2).
+	MaxRankBytes int64
+	// CoreIters and HaloIters are as in LoopStats, totalled over loops.
+	CoreIters int64
+	HaloIters int64
+	// Time is the virtual wall time of the chain (max over ranks, summed
+	// over executions).
+	Time float64
+}
+
+// Stats collects instrumentation for one Backend.
+type Stats struct {
+	Loops  map[string]*LoopStats
+	Chains map[string]*ChainStats
+}
+
+func newStats() *Stats {
+	return &Stats{Loops: map[string]*LoopStats{}, Chains: map[string]*ChainStats{}}
+}
+
+func (s *Stats) loop(name string) *LoopStats {
+	ls, ok := s.Loops[name]
+	if !ok {
+		ls = &LoopStats{Name: name}
+		s.Loops[name] = ls
+	}
+	return ls
+}
+
+func (s *Stats) chain(name string) *ChainStats {
+	cs, ok := s.Chains[name]
+	if !ok {
+		cs = &ChainStats{Name: name}
+		s.Chains[name] = cs
+	}
+	return cs
+}
+
+// String renders a compact report, loops then chains, alphabetically.
+func (s *Stats) String() string {
+	var b strings.Builder
+	var names []string
+	for n := range s.Loops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l := s.Loops[n]
+		fmt.Fprintf(&b, "loop %-20s x%-5d msgs %-8d bytes %-12d core %-10d halo %-10d t %.6fs\n",
+			l.Name, l.Executions, l.Msgs, l.Bytes, l.CoreIters, l.HaloIters, l.Time)
+	}
+	names = names[:0]
+	for n := range s.Chains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := s.Chains[n]
+		fmt.Fprintf(&b, "chain %-19s x%-5d (CA %d) msgs %-8d bytes %-12d core %-10d halo %-10d t %.6fs HE%v\n",
+			c.Name, c.Executions, c.CAExecutions, c.Msgs, c.Bytes, c.CoreIters, c.HaloIters, c.Time, c.HE)
+	}
+	return b.String()
+}

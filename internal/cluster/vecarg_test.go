@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"op2ca/internal/core"
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+// TestVectorArgsMatchPerSlot: a loop written with a vector argument
+// (OP_ALL) must produce the same result as the per-slot formulation, on the
+// sequential backend and under distributed CA execution.
+func TestVectorArgsMatchPerSlot(t *testing.T) {
+	m := mesh.Rotor(8, 6, 5)
+	build := func() (*core.Program, *core.Set, *core.Map, *core.Dat, *core.Dat) {
+		p := core.NewProgram()
+		nodes := p.DeclSet(m.NNodes, "nodes")
+		edges := p.DeclSet(m.NEdges, "edges")
+		e2n := p.DeclMap(edges, nodes, 2, m.EdgeNodes, "e2n")
+		src := p.DeclDat(nodes, 2, nil, "src")
+		dst := p.DeclDat(nodes, 2, nil, "dst")
+		for i := range src.Data {
+			src.Data[i] = float64(i%9 - 4)
+		}
+		return p, nodes, e2n, src, dst
+	}
+
+	perSlotKernel := &core.Kernel{Name: "ps", Flops: 8, MemBytes: 64, Fn: func(a [][]float64) {
+		d1, d2, s1, s2 := a[0], a[1], a[2], a[3]
+		d1[0] += s1[0] - s2[1]
+		d2[1] += s2[0] + s1[1]
+	}}
+	vecKernel := &core.Kernel{Name: "vec", Flops: 8, MemBytes: 64, Fn: func(a [][]float64) {
+		// Vector args expand in slot order: a[0],a[1] = dst slots,
+		// a[2],a[3] = src slots.
+		d1, d2, s1, s2 := a[0], a[1], a[2], a[3]
+		d1[0] += s1[0] - s2[1]
+		d2[1] += s2[0] + s1[1]
+	}}
+
+	// Sequential reference with per-slot args.
+	pRef, _, e2nRef, srcRef, dstRef := build()
+	_ = pRef
+	seq := core.NewSeq()
+	seq.ParLoop(core.NewLoop(perSlotKernel, e2nRef.From,
+		core.ArgDat(dstRef, 0, e2nRef, core.Inc), core.ArgDat(dstRef, 1, e2nRef, core.Inc),
+		core.ArgDat(srcRef, 0, e2nRef, core.Read), core.ArgDat(srcRef, 1, e2nRef, core.Read)))
+
+	// Sequential with vector args.
+	pVec, _, e2nVec, srcVec, dstVec := build()
+	_ = pVec
+	seq2 := core.NewSeq()
+	seq2.ParLoop(core.NewLoop(vecKernel, e2nVec.From,
+		core.ArgDatVec(dstVec, e2nVec, core.Inc),
+		core.ArgDatVec(srcVec, e2nVec, core.Read)))
+	for i := range dstRef.Data {
+		if dstVec.Data[i] != dstRef.Data[i] {
+			t.Fatalf("seq vec dst[%d] = %g, want %g", i, dstVec.Data[i], dstRef.Data[i])
+		}
+	}
+
+	// Distributed CA with vector args, inside a chain with a reader.
+	pCl, nodes, e2nCl, srcCl, dstCl := build()
+	b, err := New(Config{
+		Prog: pCl, Primary: nodes,
+		Assign: partition.KWay(m.NodeAdjacency(), 4), NParts: 4,
+		Depth: 2, MaxChainLen: 2, CA: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader := &core.Kernel{Name: "rd", Flops: 4, MemBytes: 48, Fn: func(a [][]float64) {
+		a[0][0] += a[1][1] + a[2][0]
+	}}
+	b.ChainBegin("vec")
+	b.ParLoop(core.NewLoop(vecKernel, e2nCl.From,
+		core.ArgDatVec(dstCl, e2nCl, core.Inc),
+		core.ArgDatVec(srcCl, e2nCl, core.Read)))
+	b.ParLoop(core.NewLoop(reader, e2nCl.From,
+		core.ArgDat(srcCl, 0, e2nCl, core.Inc),
+		core.ArgDat(dstCl, 0, e2nCl, core.Read),
+		core.ArgDat(dstCl, 1, e2nCl, core.Read)))
+	b.ChainEnd()
+
+	// Matching sequential run of the same chain.
+	seqChain := core.NewSeq()
+	pS, _, e2nS, srcS, dstS := build()
+	_ = pS
+	seqChain.ParLoop(core.NewLoop(vecKernel, e2nS.From,
+		core.ArgDatVec(dstS, e2nS, core.Inc),
+		core.ArgDatVec(srcS, e2nS, core.Read)))
+	seqChain.ParLoop(core.NewLoop(reader, e2nS.From,
+		core.ArgDat(srcS, 0, e2nS, core.Inc),
+		core.ArgDat(dstS, 0, e2nS, core.Read),
+		core.ArgDat(dstS, 1, e2nS, core.Read)))
+
+	gotDst := b.GatherDat(dstCl)
+	gotSrc := b.GatherDat(srcCl)
+	for i := range dstS.Data {
+		if gotDst[i] != dstS.Data[i] {
+			t.Fatalf("CA vec dst[%d] = %g, want %g", i, gotDst[i], dstS.Data[i])
+		}
+	}
+	for i := range srcS.Data {
+		if gotSrc[i] != srcS.Data[i] {
+			t.Fatalf("CA vec src[%d] = %g, want %g", i, gotSrc[i], srcS.Data[i])
+		}
+	}
+}
+
+func TestVectorArgValidation(t *testing.T) {
+	p := core.NewProgram()
+	nodes := p.DeclSet(3, "nodes")
+	edges := p.DeclSet(2, "edges")
+	e2n := p.DeclMap(edges, nodes, 2, []int32{0, 1, 1, 2}, "e2n")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	k := &core.Kernel{Name: "k", Fn: func(a [][]float64) {}}
+	l := core.NewLoop(k, edges, core.ArgDatVec(x, e2n, core.Read))
+	if l.NumViews() != 2 {
+		t.Errorf("NumViews = %d, want 2", l.NumViews())
+	}
+	if s := core.ArgDatVec(x, e2n, core.Read).String(); s != "<e2n[*],OP_READ>x" {
+		t.Errorf("vec String = %q", s)
+	}
+}

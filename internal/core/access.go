@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// AccessMode describes how a parallel-loop argument accesses its data,
+// mirroring OP2's OP_READ, OP_WRITE, OP_RW, OP_INC, OP_MIN and OP_MAX
+// access descriptors.
+type AccessMode int
+
+const (
+	// Read declares read-only access (OP_READ).
+	Read AccessMode = iota
+	// Write declares write-only access (OP_WRITE).
+	Write
+	// ReadWrite declares read-write access (OP_RW).
+	ReadWrite
+	// Inc declares an increment: the kernel adds contributions to the
+	// argument (OP_INC). Increments commute, so iteration order within a
+	// loop does not affect the result beyond floating-point rounding.
+	Inc
+	// Min declares a minimum reduction (OP_MIN), valid for global args.
+	Min
+	// Max declares a maximum reduction (OP_MAX), valid for global args.
+	Max
+)
+
+// String returns the OP2 name of the access mode.
+func (m AccessMode) String() string {
+	switch m {
+	case Read:
+		return "OP_READ"
+	case Write:
+		return "OP_WRITE"
+	case ReadWrite:
+		return "OP_RW"
+	case Inc:
+		return "OP_INC"
+	case Min:
+		return "OP_MIN"
+	case Max:
+		return "OP_MAX"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+}
+
+// Reads reports whether the mode observes existing data values.
+func (m AccessMode) Reads() bool {
+	return m == Read || m == ReadWrite || m == Inc || m == Min || m == Max
+}
+
+// Writes reports whether the mode modifies data values. Increments count as
+// writes: after a loop increments a dat its halo copies are stale.
+func (m AccessMode) Writes() bool {
+	return m == Write || m == ReadWrite || m == Inc || m == Min || m == Max
+}
+
+// Valid reports whether m is one of the declared access modes.
+func (m AccessMode) Valid() bool {
+	return m >= Read && m <= Max
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccessModeString(t *testing.T) {
+	cases := map[AccessMode]string{
+		Read: "OP_READ", Write: "OP_WRITE", ReadWrite: "OP_RW",
+		Inc: "OP_INC", Min: "OP_MIN", Max: "OP_MAX",
+		AccessMode(42): "AccessMode(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestAccessModeReadsWrites(t *testing.T) {
+	type rw struct{ r, w bool }
+	cases := map[AccessMode]rw{
+		Read:      {true, false},
+		Write:     {false, true},
+		ReadWrite: {true, true},
+		Inc:       {true, true},
+		Min:       {true, true},
+		Max:       {true, true},
+	}
+	for m, want := range cases {
+		if m.Reads() != want.r || m.Writes() != want.w {
+			t.Errorf("%v: Reads=%v Writes=%v, want %v %v", m, m.Reads(), m.Writes(), want.r, want.w)
+		}
+		if !m.Valid() {
+			t.Errorf("%v should be valid", m)
+		}
+	}
+	if AccessMode(-1).Valid() || AccessMode(6).Valid() {
+		t.Error("out-of-range modes should be invalid")
+	}
+}
+
+func TestProgramDeclarations(t *testing.T) {
+	p := NewProgram()
+	nodes := p.DeclSet(4, "nodes")
+	edges := p.DeclSet(3, "edges")
+	if nodes.ID != 0 || edges.ID != 1 {
+		t.Fatalf("set IDs = %d,%d, want 0,1", nodes.ID, edges.ID)
+	}
+	e2n := p.DeclMap(edges, nodes, 2, []int32{0, 1, 1, 2, 2, 3}, "e2n")
+	if got := e2n.Targets(1); got[0] != 1 || got[1] != 2 {
+		t.Errorf("Targets(1) = %v, want [1 2]", got)
+	}
+	d := p.DeclDat(nodes, 2, nil, "x")
+	if len(d.Data) != 8 {
+		t.Errorf("auto-allocated dat has %d values, want 8", len(d.Data))
+	}
+	if d.ElemSize() != 16 {
+		t.Errorf("ElemSize = %d, want 16", d.ElemSize())
+	}
+	d.Elem(2)[1] = 7
+	if d.Data[5] != 7 {
+		t.Error("Elem must alias underlying storage")
+	}
+	if p.SetByName("nodes") != nodes || p.MapByName("e2n") != e2n || p.DatByName("x") != d {
+		t.Error("lookup by name failed")
+	}
+	if p.SetByName("none") != nil {
+		t.Error("lookup of undeclared name should be nil")
+	}
+}
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestProgramDeclarationErrors(t *testing.T) {
+	p := NewProgram()
+	nodes := p.DeclSet(4, "nodes")
+	edges := p.DeclSet(3, "edges")
+	expectPanic(t, "negative set size", func() { p.DeclSet(-1, "bad") })
+	expectPanic(t, "duplicate set", func() { p.DeclSet(4, "nodes") })
+	expectPanic(t, "nil set in map", func() { p.DeclMap(nil, nodes, 2, nil, "m") })
+	expectPanic(t, "bad arity", func() { p.DeclMap(edges, nodes, 0, nil, "m") })
+	expectPanic(t, "short values", func() { p.DeclMap(edges, nodes, 2, []int32{0, 1}, "m") })
+	expectPanic(t, "out-of-range value", func() {
+		p.DeclMap(edges, nodes, 2, []int32{0, 1, 1, 9, 2, 3}, "m")
+	})
+	ok := p.DeclMap(edges, nodes, 2, []int32{0, 1, 1, 2, 2, 3}, "e2n")
+	expectPanic(t, "duplicate map", func() {
+		p.DeclMap(edges, nodes, 2, []int32{0, 1, 1, 2, 2, 3}, "e2n")
+	})
+	_ = ok
+	expectPanic(t, "nil set in dat", func() { p.DeclDat(nil, 1, nil, "d") })
+	expectPanic(t, "bad dim", func() { p.DeclDat(nodes, 0, nil, "d") })
+	expectPanic(t, "short data", func() { p.DeclDat(nodes, 2, make([]float64, 3), "d") })
+	p.DeclDat(nodes, 1, nil, "d")
+	expectPanic(t, "duplicate dat", func() { p.DeclDat(nodes, 1, nil, "d") })
+}
+
+func TestLoopValidation(t *testing.T) {
+	p := NewProgram()
+	nodes := p.DeclSet(4, "nodes")
+	edges := p.DeclSet(3, "edges")
+	cells := p.DeclSet(2, "cells")
+	e2n := p.DeclMap(edges, nodes, 2, []int32{0, 1, 1, 2, 2, 3}, "e2n")
+	c2n := p.DeclMap(cells, nodes, 2, []int32{0, 1, 2, 3}, "c2n")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	w := p.DeclDat(edges, 1, nil, "w")
+	k := &Kernel{Name: "k", Fn: func(a [][]float64) {}}
+
+	bad := []struct {
+		name string
+		loop Loop
+	}{
+		{"nil kernel", Loop{Set: edges, Args: nil}},
+		{"nil set", Loop{Kernel: k}},
+		{"invalid mode", Loop{Kernel: k, Set: edges, Args: []Arg{{Dat: x, Map: e2n, Idx: 0, Mode: AccessMode(9)}}}},
+		{"nil global buffer", Loop{Kernel: k, Set: edges, Args: []Arg{{Idx: -1, Mode: Inc}}}},
+		{"global RW", Loop{Kernel: k, Set: edges, Args: []Arg{ArgGbl(make([]float64, 1), ReadWrite)}}},
+		{"dat Min", Loop{Kernel: k, Set: edges, Args: []Arg{ArgDat(x, 0, e2n, Min)}}},
+		{"map from wrong set", Loop{Kernel: k, Set: nodes, Args: []Arg{ArgDat(x, 0, e2n, Read)}}},
+		{"map target mismatch", Loop{Kernel: k, Set: edges, Args: []Arg{ArgDat(w, 0, e2n, Read)}}},
+		{"slot out of range", Loop{Kernel: k, Set: edges, Args: []Arg{ArgDat(x, 2, e2n, Read)}}},
+		{"direct bad idx", Loop{Kernel: k, Set: edges, Args: []Arg{{Dat: w, Idx: 0, Mode: Read}}}},
+		{"direct wrong set", Loop{Kernel: k, Set: edges, Args: []Arg{ArgDatDirect(x, Read)}}},
+	}
+	for _, c := range bad {
+		if err := c.loop.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", c.name)
+		}
+	}
+	good := NewLoop(k, edges,
+		ArgDat(x, 0, e2n, Inc), ArgDat(x, 1, e2n, Inc), ArgDatDirect(w, Read))
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid loop rejected: %v", err)
+	}
+	if !good.HasIndirection() {
+		t.Error("HasIndirection should be true")
+	}
+	if good.HasGlobalReduction() {
+		t.Error("HasGlobalReduction should be false")
+	}
+	red := NewLoop(k, edges, ArgGbl(make([]float64, 1), Inc))
+	if !red.HasGlobalReduction() {
+		t.Error("HasGlobalReduction should be true")
+	}
+	if red.HasIndirection() {
+		t.Error("HasIndirection should be false for global-only loop")
+	}
+	_ = c2n
+}
+
+func TestArgString(t *testing.T) {
+	p := NewProgram()
+	nodes := p.DeclSet(2, "nodes")
+	edges := p.DeclSet(1, "edges")
+	e2n := p.DeclMap(edges, nodes, 2, []int32{0, 1}, "e2n")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	if s := ArgDat(x, 1, e2n, Read).String(); s != "<e2n[1],OP_READ>x" {
+		t.Errorf("indirect String = %q", s)
+	}
+	if s := ArgDatDirect(x, Inc).String(); s != "<ID,OP_INC>x" {
+		t.Errorf("direct String = %q", s)
+	}
+	if s := ArgGbl(make([]float64, 1), Max).String(); s != "<GBL,OP_MAX>" {
+		t.Errorf("global String = %q", s)
+	}
+}
+
+// TestSeqTwoLoopChain reproduces the paper's Figure 2/3 two-loop chain on the
+// Figure 1 mesh shape and checks the DSL execution against a hand-rolled
+// C-style implementation of the same loops.
+func TestSeqTwoLoopChain(t *testing.T) {
+	const nnode, nedge, ncell = 9, 12, 4
+	en := []int32{
+		0, 1, 1, 2, 3, 4, 4, 5, 6, 7, 7, 8, // horizontal edges
+		0, 3, 3, 6, 1, 4, 4, 7, 2, 5, 5, 8, // vertical edges
+	}
+	ec := []int32{
+		0, 0, 1, 1, 0, 2, 1, 3, 2, 2, 3, 3,
+		0, 2, 0, 2, 0, 2, 1, 3, 1, 3, 1, 3,
+	}
+	res := make([]float64, 2*nnode)
+	pres := make([]float64, 2*nnode)
+	cw := make([]float64, 4*ncell)
+	flux := make([]float64, 2*nnode)
+	for i := range pres {
+		pres[i] = float64(i%7) - 2.5
+	}
+	for i := range cw {
+		cw[i] = 0.25 * float64(i%5)
+	}
+
+	// Hand-rolled reference (Figure 2).
+	refRes := make([]float64, len(res))
+	refFlux := make([]float64, len(flux))
+	for it := 0; it < nedge; it++ {
+		m1, m2 := en[it*2], en[it*2+1]
+		refRes[2*m1+0] += pres[2*m1+0] - pres[2*m1+1]
+		refRes[2*m1+1] += pres[2*m2+0] - pres[2*m2+1]
+		refRes[2*m2+0] += pres[2*m2+1] - pres[2*m2+0]
+		refRes[2*m2+1] += pres[2*m1+1] - pres[2*m1+0]
+	}
+	for it := 0; it < nedge; it++ {
+		m1, m2 := en[it*2], en[it*2+1]
+		m3, m4 := ec[it*2], ec[it*2+1]
+		refFlux[2*m1+0] += refRes[2*m1+0]*cw[4*m3+0] - refRes[2*m1+1]*cw[4*m3+1]
+		refFlux[2*m1+1] += refRes[2*m2+1]*cw[4*m3+2] - refRes[2*m2+0]*cw[4*m3+3]
+		refFlux[2*m2+0] += refRes[2*m2+1]*cw[4*m4+2] - refRes[2*m1+1]*cw[4*m4+3]
+		refFlux[2*m2+1] += refRes[2*m1+0]*cw[4*m4+0] - refRes[2*m1+1]*cw[4*m4+1]
+	}
+
+	// OP2 version (Figure 3).
+	p := NewProgram()
+	nodes := p.DeclSet(nnode, "nodes")
+	edges := p.DeclSet(nedge, "edges")
+	cells := p.DeclSet(ncell, "cells")
+	e2n := p.DeclMap(edges, nodes, 2, en, "e2n")
+	e2c := p.DeclMap(edges, cells, 2, ec, "e2c")
+	dres := p.DeclDat(nodes, 2, res, "res")
+	dpres := p.DeclDat(nodes, 2, pres, "pres")
+	dcw := p.DeclDat(cells, 4, cw, "cw")
+	dflux := p.DeclDat(nodes, 2, flux, "flux")
+
+	update := &Kernel{Name: "update", Fn: func(a [][]float64) {
+		res1, res2, pres1, pres2 := a[0], a[1], a[2], a[3]
+		res1[0] += pres1[0] - pres1[1]
+		res1[1] += pres2[0] - pres2[1]
+		res2[0] += pres2[1] - pres2[0]
+		res2[1] += pres1[1] - pres1[0]
+	}}
+	edgeFlux := &Kernel{Name: "edge_flux", Fn: func(a [][]float64) {
+		flux1, flux2, res1, res2, cw1, cw2 := a[0], a[1], a[2], a[3], a[4], a[5]
+		flux1[0] += res1[0]*cw1[0] - res1[1]*cw1[1]
+		flux1[1] += res2[1]*cw1[2] - res2[0]*cw1[3]
+		flux2[0] += res2[1]*cw2[2] - res1[1]*cw2[3]
+		flux2[1] += res1[0]*cw2[0] - res1[1]*cw2[1]
+	}}
+
+	b := NewSeq()
+	b.ChainBegin("fig3")
+	b.ParLoop(NewLoop(update, edges,
+		ArgDat(dres, 0, e2n, Inc), ArgDat(dres, 1, e2n, Inc),
+		ArgDat(dpres, 0, e2n, Read), ArgDat(dpres, 1, e2n, Read)))
+	b.ParLoop(NewLoop(edgeFlux, edges,
+		ArgDat(dflux, 0, e2n, Inc), ArgDat(dflux, 1, e2n, Inc),
+		ArgDat(dres, 0, e2n, Read), ArgDat(dres, 1, e2n, Read),
+		ArgDat(dcw, 0, e2c, Read), ArgDat(dcw, 1, e2c, Read)))
+	b.ChainEnd()
+
+	for i := range refRes {
+		if math.Abs(refRes[i]-dres.Data[i]) > 1e-12 {
+			t.Fatalf("res[%d] = %g, want %g", i, dres.Data[i], refRes[i])
+		}
+	}
+	for i := range refFlux {
+		if math.Abs(refFlux[i]-dflux.Data[i]) > 1e-12 {
+			t.Fatalf("flux[%d] = %g, want %g", i, dflux.Data[i], refFlux[i])
+		}
+	}
+	if b.LoopsRun != 2 || b.ItersRun != 2*nedge {
+		t.Errorf("counters = %d loops, %d iters", b.LoopsRun, b.ItersRun)
+	}
+}
+
+func TestSeqGlobalReduction(t *testing.T) {
+	p := NewProgram()
+	nodes := p.DeclSet(10, "nodes")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	for i := 0; i < 10; i++ {
+		x.Data[i] = float64(i)
+	}
+	sum := []float64{0}
+	mn := []float64{math.Inf(1)}
+	mx := []float64{math.Inf(-1)}
+	k := &Kernel{Name: "reduce", Fn: func(a [][]float64) {
+		v := a[0][0]
+		a[1][0] += v
+		if v < a[2][0] {
+			a[2][0] = v
+		}
+		if v > a[3][0] {
+			a[3][0] = v
+		}
+	}}
+	NewSeq().ParLoop(NewLoop(k, nodes,
+		ArgDatDirect(x, Read), ArgGbl(sum, Inc), ArgGbl(mn, Min), ArgGbl(mx, Max)))
+	if sum[0] != 45 || mn[0] != 0 || mx[0] != 9 {
+		t.Errorf("sum=%g min=%g max=%g, want 45 0 9", sum[0], mn[0], mx[0])
+	}
+}
+
+func TestSeqChainMisuse(t *testing.T) {
+	b := NewSeq()
+	expectPanic(t, "end without begin", func() { b.ChainEnd() })
+	b.ChainBegin("c")
+	expectPanic(t, "nested chain", func() { b.ChainBegin("d") })
+	p := NewProgram()
+	nodes := p.DeclSet(1, "nodes")
+	k := &Kernel{Name: "k", Fn: func(a [][]float64) {}}
+	expectPanic(t, "reduction in chain", func() {
+		b.ParLoop(NewLoop(k, nodes, ArgGbl(make([]float64, 1), Inc)))
+	})
+	b.ChainEnd()
+}

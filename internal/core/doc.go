@@ -1,0 +1,17 @@
+// Package core implements the OP2-style domain-specific abstraction for
+// unstructured-mesh computations: sets of mesh elements, explicit
+// connectivity maps between sets, data declared on sets, and parallel loops
+// over sets described by access descriptors.
+//
+// The abstraction follows Mudalige et al., "OP2: An active library framework
+// for solving unstructured mesh-based applications on multi-core and
+// many-core architectures" (InPar 2012), as used by the communication-
+// avoiding back-end of Ekanayake et al. (ICPP 2023).
+//
+// A Program collects declarations (the analogue of op_decl_set, op_decl_map,
+// op_decl_dat). Computation is expressed as Loops (op_par_loop) executed
+// through a Backend. Package core provides the sequential reference backend;
+// package cluster provides the distributed-memory backend with standard
+// per-loop halo exchanges; package ca provides the communication-avoiding
+// loop-chain backend.
+package core

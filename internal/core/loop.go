@@ -1,0 +1,219 @@
+package core
+
+import "fmt"
+
+// Arg is one access descriptor of a parallel loop: which dat is accessed,
+// through which map slot (or directly), and in what mode. It is the analogue
+// of op_arg_dat / op_arg_gbl.
+type Arg struct {
+	// Dat is the accessed data; nil for a global argument.
+	Dat *Dat
+	// Map is the connectivity used for indirect access; nil for direct
+	// access (OP2's identity map, OP_ID).
+	Map *Map
+	// Idx selects the map slot in [0, Map.Arity) for indirect access;
+	// -1 for direct access.
+	Idx int
+	// Mode is the declared access mode.
+	Mode AccessMode
+	// Gbl is the buffer of a global argument (op_arg_gbl); nil otherwise.
+	// Global Inc/Min/Max arguments are reduced across ranks at loop end.
+	Gbl []float64
+}
+
+// VecAll as an Arg.Idx selects every map slot at once (OP2's vector
+// arguments, op_arg_dat with a negative index): the kernel receives
+// Map.Arity consecutive views for the argument.
+const VecAll = -2
+
+// ArgDat builds an indirect access descriptor: dat accessed through slot idx
+// of map m, in the given mode. Mirrors op_arg_dat(dat, idx, map, ...).
+func ArgDat(dat *Dat, idx int, m *Map, mode AccessMode) Arg {
+	return Arg{Dat: dat, Map: m, Idx: idx, Mode: mode}
+}
+
+// ArgDatVec builds a vector access descriptor: dat accessed through every
+// slot of map m at once. The kernel receives m.Arity consecutive views.
+func ArgDatVec(dat *Dat, m *Map, mode AccessMode) Arg {
+	return Arg{Dat: dat, Map: m, Idx: VecAll, Mode: mode}
+}
+
+// Views returns how many kernel views the argument expands to.
+func (a Arg) Views() int {
+	if a.Indirect() && a.Idx == VecAll {
+		return a.Map.Arity
+	}
+	return 1
+}
+
+// ArgDatDirect builds a direct access descriptor: dat defined on the loop's
+// iteration set, accessed at the iteration index (OP_ID map).
+func ArgDatDirect(dat *Dat, mode AccessMode) Arg {
+	return Arg{Dat: dat, Map: nil, Idx: -1, Mode: mode}
+}
+
+// ArgGbl builds a global argument of the given mode. For Inc, Min and Max
+// the buffer is a cross-rank reduction target; for Read it is broadcast
+// loop-constant data.
+func ArgGbl(buf []float64, mode AccessMode) Arg {
+	return Arg{Gbl: buf, Idx: -1, Mode: mode}
+}
+
+// IsGlobal reports whether the argument is a global (op_arg_gbl) argument.
+func (a Arg) IsGlobal() bool { return a.Dat == nil }
+
+// Indirect reports whether the argument is accessed through a map.
+func (a Arg) Indirect() bool { return a.Map != nil }
+
+// String renders the descriptor in the paper's <map, mode> notation.
+func (a Arg) String() string {
+	if a.IsGlobal() {
+		return fmt.Sprintf("<GBL,%v>", a.Mode)
+	}
+	if a.Indirect() {
+		if a.Idx == VecAll {
+			return fmt.Sprintf("<%s[*],%v>%s", a.Map.Name, a.Mode, a.Dat.Name)
+		}
+		return fmt.Sprintf("<%s[%d],%v>%s", a.Map.Name, a.Idx, a.Mode, a.Dat.Name)
+	}
+	return fmt.Sprintf("<ID,%v>%s", a.Mode, a.Dat.Name)
+}
+
+// KernelFunc is the elemental computation applied at each iteration of a
+// parallel loop. args[i] is the view of the i-th loop argument for this
+// iteration: a slice of Dat.Dim values for dat arguments (aliasing the
+// underlying storage) or the global buffer for global arguments.
+type KernelFunc func(args [][]float64)
+
+// Kernel is a named elemental computation with a declared cost, used by the
+// performance model: Flops and MemBytes per iteration feed the g_l term of
+// the paper's Equation (1).
+type Kernel struct {
+	Name string
+	Fn   KernelFunc
+	// Flops is the floating-point work of one iteration.
+	Flops float64
+	// MemBytes is the data moved to/from memory by one iteration.
+	MemBytes float64
+}
+
+// Loop describes one op_par_loop: a kernel applied over every element of a
+// set with the given access descriptors.
+type Loop struct {
+	Kernel *Kernel
+	Set    *Set
+	Args   []Arg
+}
+
+// NewLoop builds and validates a loop descriptor. It panics on descriptor
+// errors (mismatched sets, out-of-range map slots), which are programming
+// errors in the application, mirroring OP2's runtime checks.
+func NewLoop(k *Kernel, set *Set, args ...Arg) Loop {
+	l := Loop{Kernel: k, Set: set, Args: args}
+	if err := l.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	return l
+}
+
+// Validate checks the loop descriptor for consistency.
+func (l Loop) Validate() error {
+	if l.Kernel == nil || l.Kernel.Fn == nil {
+		return fmt.Errorf("loop over %v has no kernel", l.Set)
+	}
+	if l.Set == nil {
+		return fmt.Errorf("loop %q has no iteration set", l.Kernel.Name)
+	}
+	for i, a := range l.Args {
+		if !a.Mode.Valid() {
+			return fmt.Errorf("loop %q arg %d: invalid access mode %d", l.Kernel.Name, i, int(a.Mode))
+		}
+		if a.IsGlobal() {
+			if a.Gbl == nil {
+				return fmt.Errorf("loop %q arg %d: global arg with nil buffer", l.Kernel.Name, i)
+			}
+			if a.Mode == Write || a.Mode == ReadWrite {
+				return fmt.Errorf("loop %q arg %d: global arg mode must be Read, Inc, Min or Max, got %v",
+					l.Kernel.Name, i, a.Mode)
+			}
+			continue
+		}
+		if a.Mode == Min || a.Mode == Max {
+			return fmt.Errorf("loop %q arg %d: Min/Max modes are only valid for global args", l.Kernel.Name, i)
+		}
+		if a.Indirect() {
+			if a.Map.From != l.Set {
+				return fmt.Errorf("loop %q arg %d: map %s is from set %s, loop iterates %s",
+					l.Kernel.Name, i, a.Map.Name, a.Map.From.Name, l.Set.Name)
+			}
+			if a.Map.To != a.Dat.Set {
+				return fmt.Errorf("loop %q arg %d: map %s targets set %s but dat %s lives on %s",
+					l.Kernel.Name, i, a.Map.Name, a.Map.To.Name, a.Dat.Name, a.Dat.Set.Name)
+			}
+			if a.Idx != VecAll && (a.Idx < 0 || a.Idx >= a.Map.Arity) {
+				return fmt.Errorf("loop %q arg %d: map slot %d out of range [0,%d)",
+					l.Kernel.Name, i, a.Idx, a.Map.Arity)
+			}
+		} else {
+			if a.Idx != -1 {
+				return fmt.Errorf("loop %q arg %d: direct arg must have Idx -1, got %d", l.Kernel.Name, i, a.Idx)
+			}
+			if a.Dat.Set != l.Set {
+				return fmt.Errorf("loop %q arg %d: direct dat %s lives on %s, loop iterates %s",
+					l.Kernel.Name, i, a.Dat.Name, a.Dat.Set.Name, l.Set.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// NumViews returns the number of kernel views the loop's arguments expand
+// to (vector arguments occupy one view per map slot).
+func (l Loop) NumViews() int {
+	n := 0
+	for _, a := range l.Args {
+		n += a.Views()
+	}
+	return n
+}
+
+// HasIndirection reports whether any argument is accessed through a map.
+// Loops with indirection execute their import execute halo redundantly in
+// distributed runs; fully direct loops iterate owned elements only.
+func (l Loop) HasIndirection() bool {
+	for _, a := range l.Args {
+		if a.Indirect() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasGlobalReduction reports whether the loop carries a global Inc/Min/Max
+// argument. Such loops are global synchronisation points and therefore
+// terminate loop-chains.
+func (l Loop) HasGlobalReduction() bool {
+	for _, a := range l.Args {
+		if a.IsGlobal() && a.Mode != Read {
+			return true
+		}
+	}
+	return false
+}
+
+// Backend executes parallel loops. The sequential reference backend runs on
+// the global mesh; distributed back-ends run on partitioned local views and
+// insert halo exchanges. Chain demarcation lets communication-avoiding
+// back-ends apply Algorithm 2 of the paper to the enclosed loops; back-ends
+// without CA support execute chained loops one by one.
+type Backend interface {
+	// ParLoop executes one parallel loop (op_par_loop).
+	ParLoop(l Loop)
+	// ChainBegin opens a loop-chain with the given name. Chains must not
+	// nest and must not contain global reductions.
+	ChainBegin(name string)
+	// ChainEnd closes the current loop-chain, triggering CA execution.
+	ChainEnd()
+	// Name identifies the back-end in reports.
+	Name() string
+}

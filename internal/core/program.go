@@ -1,0 +1,151 @@
+package core
+
+import "fmt"
+
+// Program collects the declarations of an OP2 application: the sets, maps
+// and dats that describe the unstructured mesh and the data defined on it.
+// It is the global (unpartitioned) view; distributed back-ends derive
+// per-rank local views from it.
+type Program struct {
+	Sets []*Set
+	Maps []*Map
+	Dats []*Dat
+
+	setByName map[string]*Set
+	mapByName map[string]*Map
+	datByName map[string]*Dat
+}
+
+// NewProgram returns an empty Program ready for declarations.
+func NewProgram() *Program {
+	return &Program{
+		setByName: make(map[string]*Set),
+		mapByName: make(map[string]*Map),
+		datByName: make(map[string]*Dat),
+	}
+}
+
+// DeclSet declares a set of size mesh elements (op_decl_set).
+// It panics if the name is already declared or size is negative.
+func (p *Program) DeclSet(size int, name string) *Set {
+	if size < 0 {
+		panic(fmt.Sprintf("core: set %q declared with negative size %d", name, size))
+	}
+	if _, dup := p.setByName[name]; dup {
+		panic(fmt.Sprintf("core: duplicate set name %q", name))
+	}
+	s := &Set{ID: len(p.Sets), Name: name, Size: size}
+	p.Sets = append(p.Sets, s)
+	p.setByName[name] = s
+	return s
+}
+
+// DeclMap declares a connectivity map from each element of `from` to `arity`
+// elements of `to` (op_decl_map). values holds from.Size*arity indices into
+// `to` and is retained, not copied. It panics on malformed input.
+func (p *Program) DeclMap(from, to *Set, arity int, values []int32, name string) *Map {
+	if from == nil || to == nil {
+		panic(fmt.Sprintf("core: map %q declared with nil set", name))
+	}
+	if arity <= 0 {
+		panic(fmt.Sprintf("core: map %q declared with non-positive arity %d", name, arity))
+	}
+	if len(values) != from.Size*arity {
+		panic(fmt.Sprintf("core: map %q has %d values, want %d (%d elements x arity %d)",
+			name, len(values), from.Size*arity, from.Size, arity))
+	}
+	for i, v := range values {
+		if v < 0 || int(v) >= to.Size {
+			panic(fmt.Sprintf("core: map %q entry %d = %d out of range [0,%d)", name, i, v, to.Size))
+		}
+	}
+	if _, dup := p.mapByName[name]; dup {
+		panic(fmt.Sprintf("core: duplicate map name %q", name))
+	}
+	m := &Map{ID: len(p.Maps), Name: name, From: from, To: to, Arity: arity, Values: values}
+	p.Maps = append(p.Maps, m)
+	p.mapByName[name] = m
+	return m
+}
+
+// DeclDat declares data of dim float64 values per element of set
+// (op_decl_dat). data holds set.Size*dim values and is retained, not copied;
+// pass nil to allocate zeroed storage. It panics on malformed input.
+func (p *Program) DeclDat(set *Set, dim int, data []float64, name string) *Dat {
+	if set == nil {
+		panic(fmt.Sprintf("core: dat %q declared with nil set", name))
+	}
+	if dim <= 0 {
+		panic(fmt.Sprintf("core: dat %q declared with non-positive dim %d", name, dim))
+	}
+	if data == nil {
+		data = make([]float64, set.Size*dim)
+	}
+	if len(data) != set.Size*dim {
+		panic(fmt.Sprintf("core: dat %q has %d values, want %d (%d elements x dim %d)",
+			name, len(data), set.Size*dim, set.Size, dim))
+	}
+	if _, dup := p.datByName[name]; dup {
+		panic(fmt.Sprintf("core: duplicate dat name %q", name))
+	}
+	d := &Dat{ID: len(p.Dats), Name: name, Set: set, Dim: dim, Data: data}
+	p.Dats = append(p.Dats, d)
+	p.datByName[name] = d
+	return d
+}
+
+// SetByName returns the set declared under name, or nil.
+func (p *Program) SetByName(name string) *Set { return p.setByName[name] }
+
+// MapByName returns the map declared under name, or nil.
+func (p *Program) MapByName(name string) *Map { return p.mapByName[name] }
+
+// DatByName returns the dat declared under name, or nil.
+func (p *Program) DatByName(name string) *Dat { return p.datByName[name] }
+
+// Set is a collection of mesh elements of one kind (nodes, edges, cells...),
+// the analogue of op_set. Elements are identified by index in [0, Size).
+type Set struct {
+	ID   int
+	Name string
+	Size int
+}
+
+func (s *Set) String() string { return fmt.Sprintf("set(%s,%d)", s.Name, s.Size) }
+
+// Map is explicit connectivity from one set to another, the analogue of
+// op_map. Element e of From maps to Values[e*Arity : (e+1)*Arity] in To.
+type Map struct {
+	ID     int
+	Name   string
+	From   *Set
+	To     *Set
+	Arity  int
+	Values []int32
+}
+
+func (m *Map) String() string {
+	return fmt.Sprintf("map(%s:%s->%s^%d)", m.Name, m.From.Name, m.To.Name, m.Arity)
+}
+
+// Targets returns the map row for element e of the From set.
+func (m *Map) Targets(e int) []int32 { return m.Values[e*m.Arity : (e+1)*m.Arity] }
+
+// Dat is data defined on a set, Dim float64 values per element, the analogue
+// of op_dat.
+type Dat struct {
+	ID   int
+	Name string
+	Set  *Set
+	Dim  int
+	Data []float64
+}
+
+func (d *Dat) String() string { return fmt.Sprintf("dat(%s on %s dim %d)", d.Name, d.Set.Name, d.Dim) }
+
+// Elem returns the data slice for element e.
+func (d *Dat) Elem(e int) []float64 { return d.Data[e*d.Dim : (e+1)*d.Dim] }
+
+// ElemSize returns the size in bytes of one element of the dat, the
+// delta term of the paper's Equation (4).
+func (d *Dat) ElemSize() int { return d.Dim * 8 }

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Seq is the sequential reference backend. It executes loops directly over
+// the global mesh with no partitioning or halo exchange; distributed
+// back-ends are validated against it.
+type Seq struct {
+	// LoopsRun counts executed loops, for instrumentation.
+	LoopsRun int
+	// ItersRun counts executed iterations.
+	ItersRun int64
+
+	inChain bool
+	views   [][]float64
+}
+
+// NewSeq returns a sequential reference backend.
+func NewSeq() *Seq { return &Seq{} }
+
+// Name implements Backend.
+func (s *Seq) Name() string { return "seq" }
+
+// ChainBegin implements Backend. The sequential backend executes chained
+// loops exactly like unchained ones; demarcation is only validated.
+func (s *Seq) ChainBegin(name string) {
+	if s.inChain {
+		panic(fmt.Sprintf("core: nested loop-chain %q", name))
+	}
+	s.inChain = true
+}
+
+// ChainEnd implements Backend.
+func (s *Seq) ChainEnd() {
+	if !s.inChain {
+		panic("core: ChainEnd without ChainBegin")
+	}
+	s.inChain = false
+}
+
+// ParLoop implements Backend by applying the kernel to every element of the
+// loop's iteration set.
+func (s *Seq) ParLoop(l Loop) {
+	if err := l.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	if s.inChain && l.HasGlobalReduction() {
+		panic(fmt.Sprintf("core: loop %q with global reduction inside a loop-chain", l.Kernel.Name))
+	}
+	nv := l.NumViews()
+	if cap(s.views) < nv {
+		s.views = make([][]float64, nv)
+	}
+	views := s.views[:nv]
+	n := l.Set.Size
+	for iter := 0; iter < n; iter++ {
+		gatherViews(l, iter, views)
+		l.Kernel.Fn(views)
+	}
+	s.LoopsRun++
+	s.ItersRun += int64(n)
+}
+
+// gatherViews fills views with the data windows of the loop's arguments at
+// the given iteration; vector arguments expand to one view per map slot.
+// Direct and indirect dat views alias the dat storage; global views alias
+// the global buffer.
+func gatherViews(l Loop, iter int, views [][]float64) {
+	vi := 0
+	for _, a := range l.Args {
+		switch {
+		case a.IsGlobal():
+			views[vi] = a.Gbl
+			vi++
+		case a.Indirect() && a.Idx == VecAll:
+			for _, e := range a.Map.Targets(iter) {
+				views[vi] = a.Dat.Data[int(e)*a.Dat.Dim : (int(e)+1)*a.Dat.Dim]
+				vi++
+			}
+		case a.Indirect():
+			e := int(a.Map.Values[iter*a.Map.Arity+a.Idx])
+			views[vi] = a.Dat.Data[e*a.Dat.Dim : (e+1)*a.Dat.Dim]
+			vi++
+		default:
+			views[vi] = a.Dat.Data[iter*a.Dat.Dim : (iter+1)*a.Dat.Dim]
+			vi++
+		}
+	}
+}

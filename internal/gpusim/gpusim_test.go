@@ -1,0 +1,47 @@
+package gpusim
+
+import "testing"
+
+func TestStageTime(t *testing.T) {
+	d := V100()
+	if d.StageTime(0) != 0 {
+		t.Error("zero bytes must stage for free")
+	}
+	small := d.StageTime(8)
+	if small <= d.PCIeLatency {
+		t.Error("staging must cost at least the PCIe latency")
+	}
+	big := d.StageTime(1 << 24)
+	if big <= small {
+		t.Error("staging time must grow with volume")
+	}
+	want := d.PCIeLatency + float64(1<<24)/d.PCIeBandwidth
+	if diff := big - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("StageTime(16MiB) = %g, want %g", big, want)
+	}
+}
+
+func TestExchangeLatency(t *testing.T) {
+	d := V100()
+	lambda := d.ExchangeLatency(4e-6)
+	if lambda <= 4e-6 {
+		t.Error("Λ must exceed the bare network latency")
+	}
+	if lambda != 4e-6+2*d.PCIeLatency {
+		t.Errorf("Λ = %g, want network + 2x PCIe latency", lambda)
+	}
+}
+
+func TestV100Sane(t *testing.T) {
+	d := V100()
+	if d.LaunchOverhead <= 0 || d.FlopRate <= 0 || d.MemBandwidth <= 0 ||
+		d.PCIeLatency <= 0 || d.PCIeBandwidth <= 0 {
+		t.Errorf("V100 parameters must be positive: %+v", d)
+	}
+	if d.FlopRate > 7.8e12 {
+		t.Error("effective flop rate cannot exceed peak")
+	}
+	if d.MemBandwidth > 900e9 {
+		t.Error("effective memory bandwidth cannot exceed peak")
+	}
+}

@@ -1,0 +1,71 @@
+package halo
+
+import (
+	"strings"
+	"testing"
+
+	"op2ca/internal/core"
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+func TestProfile(t *testing.T) {
+	m := mesh.Rotor(12, 9, 8)
+	p := core.NewProgram()
+	nodes := p.DeclSet(m.NNodes, "nodes")
+	edges := p.DeclSet(m.NEdges, "edges")
+	p.DeclMap(edges, nodes, 2, m.EdgeNodes, "e2n")
+	assign := partition.KWay(m.NodeAdjacency(), 6)
+	owners, err := DeriveOwnership(p, nodes, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts := Build(p, owners, 6, 3, 4)
+	profiles := Profile(p, layouts)
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(profiles))
+	}
+	var nodesProf, edgesProf SetProfile
+	for _, pr := range profiles {
+		switch pr.Set.Name {
+		case "nodes":
+			nodesProf = pr
+		case "edges":
+			edgesProf = pr
+		}
+	}
+	// Owned averages must sum to the global sizes.
+	if got := nodesProf.AvgOwned * 6; int(got+0.5) != m.NNodes {
+		t.Errorf("node owned average %g x6 != %d", nodesProf.AvgOwned, m.NNodes)
+	}
+	// Core is a subset of owned.
+	if nodesProf.AvgCore > nodesProf.AvgOwned {
+		t.Error("core exceeds owned")
+	}
+	// Nodes have no outgoing maps: all node halo is non-execute.
+	for d := 0; d < 3; d++ {
+		if nodesProf.AvgExec[d] != 0 {
+			t.Errorf("nodes exec shell %d = %g, want 0", d+1, nodesProf.AvgExec[d])
+		}
+		if nodesProf.MaxExec[d] != 0 {
+			t.Errorf("nodes max exec shell %d nonzero", d+1)
+		}
+	}
+	// Edges form the execute halo; shell 1 must be non-empty and shell 2
+	// larger (the growth the paper's redundant compute pays for).
+	if edgesProf.AvgExec[0] <= 0 {
+		t.Fatal("edge exec shell 1 empty")
+	}
+	if r := edgesProf.GrowthRatio(2); r <= 1 {
+		t.Errorf("edge shell growth ratio %g, want > 1", r)
+	}
+	if edgesProf.GrowthRatio(1) != 0 || edgesProf.GrowthRatio(99) != 0 {
+		t.Error("out-of-range growth ratios should be 0")
+	}
+	if s := edgesProf.String(); !strings.Contains(s, "edges") || !strings.Contains(s, "d2") {
+		t.Errorf("String() = %q", s)
+	}
+	if Profile(p, nil) != nil {
+		t.Error("empty layouts should profile to nil")
+	}
+}

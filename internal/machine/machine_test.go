@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"testing"
+
+	"op2ca/internal/core"
+)
+
+func TestIterTimeRoofline(t *testing.T) {
+	m := &Machine{FlopRate: 1e9, MemBandwidth: 1e8}
+	flopBound := &core.Kernel{Flops: 1000, MemBytes: 1}
+	memBound := &core.Kernel{Flops: 1, MemBytes: 1000}
+	if got := m.IterTime(flopBound); got != 1000/1e9 {
+		t.Errorf("flop-bound IterTime = %g", got)
+	}
+	if got := m.IterTime(memBound); got != 1000/1e8 {
+		t.Errorf("mem-bound IterTime = %g", got)
+	}
+}
+
+func TestGPURates(t *testing.T) {
+	c := Cirrus()
+	if c.GPU == nil {
+		t.Fatal("Cirrus must have a GPU")
+	}
+	k := &core.Kernel{Flops: 1000, MemBytes: 100}
+	cpu := ARCHER2()
+	if c.IterTime(k) >= cpu.IterTime(k) {
+		t.Error("a V100 rank should out-compute an EPYC core per iteration")
+	}
+	if cpu.LaunchOverhead() != 0 {
+		t.Error("CPU machines have no launch overhead")
+	}
+	if c.LaunchOverhead() <= 0 {
+		t.Error("GPU machines must charge launch overhead")
+	}
+	if cpu.StageTime(1000) != 0 {
+		t.Error("CPU machines have no staging cost")
+	}
+	if c.StageTime(0) != 0 {
+		t.Error("zero bytes stage for free")
+	}
+	if c.StageTime(1<<20) <= c.GPU.PCIeLatency {
+		t.Error("staging a megabyte must cost more than bare latency")
+	}
+}
+
+func TestMachinePresetsSane(t *testing.T) {
+	for _, m := range []*Machine{ARCHER2(), Cirrus(), Laptop()} {
+		if m.RanksPerNode < 1 || m.FlopRate <= 0 || m.MemBandwidth <= 0 ||
+			m.Latency <= 0 || m.Bandwidth <= 0 || m.PackRate <= 0 {
+			t.Errorf("%s has non-positive parameters: %+v", m.Name, m)
+		}
+	}
+	if ARCHER2().RanksPerNode != 128 {
+		t.Error("ARCHER2 runs 128 ranks per node (2x64-core EPYC 7742)")
+	}
+	if Cirrus().RanksPerNode != 4 {
+		t.Error("Cirrus runs 4 ranks per node (one per V100)")
+	}
+}

@@ -1,0 +1,23 @@
+// Package mesh generates synthetic unstructured meshes for the
+// communication-avoiding OP2 reproduction.
+//
+// The paper evaluates on NASA Rotor 37 meshes (8M and 24M nodes), which are
+// not redistributable. This package substitutes annular-sector curvilinear
+// meshes of the same topology class: node-centred finite-volume duals of
+// structured hex grids wrapped around an axis, with hub/casing/inflow/
+// outflow boundary patches and periodic matching faces in the
+// circumferential direction. Communication-avoiding behaviour depends on
+// partition surface-to-volume ratios, neighbour counts and map arities, all
+// of which the synthetic meshes reproduce; absolute element counts are
+// scaled by the caller.
+//
+// Generators:
+//   - Quad2D: the small node/edge/cell quadrilateral mesh of the paper's
+//     Figure 1, for examples and unit tests.
+//   - Box: a rectilinear 3-D finite-volume mesh (all six faces are solid
+//     boundaries).
+//   - Rotor: the rotor-like annular sector with periodic faces, used by the
+//     MG-CFD and Hydra-proxy applications.
+//   - NewHierarchy: a multigrid hierarchy of FV3D meshes with fine-to-coarse
+//     node maps, used by MG-CFD.
+package mesh

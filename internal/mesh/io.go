@@ -1,0 +1,177 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary mesh format: a fixed magic/version header followed by the FV3D
+// fields in declaration order, each array length-prefixed. Everything is
+// little-endian; int32 for counts and connectivity, float64 for geometry.
+const (
+	meshMagic   = "OP2CAMSH"
+	meshVersion = 1
+)
+
+// Write serialises the mesh.
+func (m *FV3D) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(meshMagic); err != nil {
+		return err
+	}
+	header := []int32{
+		meshVersion,
+		int32(m.NI), int32(m.NJ), int32(m.NK),
+		int32(m.NNodes), int32(m.NEdges), int32(m.NBedges),
+		int32(m.NPedges), int32(m.NCbnd),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{m.EdgeNodes, m.BedgeNodes, m.BedgeGroups, m.PedgeNodes, m.CbndNodes} {
+		if err := writeI32s(bw, arr); err != nil {
+			return err
+		}
+	}
+	for _, arr := range [][]float64{m.Coords, m.Volumes, m.EdgeWeights, m.BedgeWeights} {
+		if err := writeF64s(bw, arr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFV3D deserialises a mesh written by Write, validating structure.
+func ReadFV3D(r io.Reader) (*FV3D, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(meshMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("mesh: reading magic: %w", err)
+	}
+	if string(magic) != meshMagic {
+		return nil, fmt.Errorf("mesh: bad magic %q", magic)
+	}
+	header := make([]int32, 9)
+	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
+		return nil, fmt.Errorf("mesh: reading header: %w", err)
+	}
+	if header[0] != meshVersion {
+		return nil, fmt.Errorf("mesh: unsupported version %d", header[0])
+	}
+	m := &FV3D{
+		NI: int(header[1]), NJ: int(header[2]), NK: int(header[3]),
+		NNodes: int(header[4]), NEdges: int(header[5]), NBedges: int(header[6]),
+		NPedges: int(header[7]), NCbnd: int(header[8]),
+	}
+	if m.NNodes < 0 || m.NEdges < 0 || m.NBedges < 0 || m.NPedges < 0 || m.NCbnd < 0 {
+		return nil, fmt.Errorf("mesh: negative counts in header")
+	}
+	var err error
+	read32 := func(want int) []int32 {
+		if err != nil {
+			return nil
+		}
+		var arr []int32
+		arr, err = readI32s(br, want)
+		return arr
+	}
+	read64 := func(want int) []float64 {
+		if err != nil {
+			return nil
+		}
+		var arr []float64
+		arr, err = readF64s(br, want)
+		return arr
+	}
+	m.EdgeNodes = read32(2 * m.NEdges)
+	m.BedgeNodes = read32(m.NBedges)
+	m.BedgeGroups = read32(m.NBedges)
+	m.PedgeNodes = read32(2 * m.NPedges)
+	m.CbndNodes = read32(m.NCbnd)
+	m.Coords = read64(3 * m.NNodes)
+	m.Volumes = read64(m.NNodes)
+	m.EdgeWeights = read64(3 * m.NEdges)
+	m.BedgeWeights = read64(3 * m.NBedges)
+	if err != nil {
+		return nil, err
+	}
+	// Connectivity validation: everything must index real nodes.
+	for _, arr := range [][]int32{m.EdgeNodes, m.BedgeNodes, m.PedgeNodes, m.CbndNodes} {
+		for i, v := range arr {
+			if v < 0 || int(v) >= m.NNodes {
+				return nil, fmt.Errorf("mesh: connectivity entry %d = %d out of range [0,%d)", i, v, m.NNodes)
+			}
+		}
+	}
+	return m, nil
+}
+
+// SaveFile writes the mesh to path.
+func (m *FV3D) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a mesh from path.
+func LoadFile(path string) (*FV3D, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFV3D(f)
+}
+
+func writeI32s(w io.Writer, arr []int32) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(arr))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, arr)
+}
+
+func writeF64s(w io.Writer, arr []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(arr))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, arr)
+}
+
+func readI32s(r io.Reader, want int) ([]int32, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("mesh: reading array length: %w", err)
+	}
+	if int(n) != want {
+		return nil, fmt.Errorf("mesh: array length %d, header implies %d", n, want)
+	}
+	arr := make([]int32, n)
+	if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+		return nil, fmt.Errorf("mesh: reading int32 array: %w", err)
+	}
+	return arr, nil
+}
+
+func readF64s(r io.Reader, want int) ([]float64, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("mesh: reading array length: %w", err)
+	}
+	if int(n) != want {
+		return nil, fmt.Errorf("mesh: array length %d, header implies %d", n, want)
+	}
+	arr := make([]float64, n)
+	if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+		return nil, fmt.Errorf("mesh: reading float64 array: %w", err)
+	}
+	return arr, nil
+}

@@ -1,0 +1,100 @@
+package mesh
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMeshRoundtrip(t *testing.T) {
+	for name, m := range map[string]*FV3D{
+		"rotor": Rotor(7, 5, 4),
+		"box":   Box(4, 3, 5),
+	} {
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadFV3D(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.NNodes != m.NNodes || got.NEdges != m.NEdges ||
+			got.NBedges != m.NBedges || got.NPedges != m.NPedges || got.NCbnd != m.NCbnd {
+			t.Fatalf("%s: counts differ: %+v vs %+v", name, got, m)
+		}
+		for i := range m.EdgeNodes {
+			if got.EdgeNodes[i] != m.EdgeNodes[i] {
+				t.Fatalf("%s: EdgeNodes[%d] differs", name, i)
+			}
+		}
+		for i := range m.Coords {
+			if got.Coords[i] != m.Coords[i] {
+				t.Fatalf("%s: Coords[%d] differs", name, i)
+			}
+		}
+		for i := range m.EdgeWeights {
+			if got.EdgeWeights[i] != m.EdgeWeights[i] {
+				t.Fatalf("%s: EdgeWeights[%d] differs", name, i)
+			}
+		}
+		for i := range m.BedgeGroups {
+			if got.BedgeGroups[i] != m.BedgeGroups[i] {
+				t.Fatalf("%s: BedgeGroups[%d] differs", name, i)
+			}
+		}
+	}
+}
+
+func TestMeshFileRoundtrip(t *testing.T) {
+	m := Rotor(6, 5, 4)
+	path := filepath.Join(t.TempDir(), "rotor.op2ca")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNodes != m.NNodes || got.NEdges != m.NEdges {
+		t.Fatal("file roundtrip lost elements")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.op2ca")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestMeshReadErrors(t *testing.T) {
+	m := Rotor(4, 3, 3)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte("NOTAMESH"), good[8:]...),
+		"truncated":  good[:len(good)/2],
+		"bad header": append([]byte(meshMagic), bytes.Repeat([]byte{0xff}, 36)...),
+	}
+	for name, data := range cases {
+		if _, err := ReadFV3D(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// Corrupt a connectivity entry to an out-of-range node.
+	corrupt := append([]byte(nil), good...)
+	// EdgeNodes starts after magic(8) + header(9*4) + length prefix(4).
+	off := 8 + 36 + 4
+	corrupt[off] = 0xff
+	corrupt[off+1] = 0xff
+	corrupt[off+2] = 0xff
+	corrupt[off+3] = 0x7f
+	if _, err := ReadFV3D(bytes.NewReader(corrupt)); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("corrupt connectivity: got %v, want out-of-range error", err)
+	}
+}

@@ -1,0 +1,53 @@
+package mesh
+
+// Hierarchy is a multigrid hierarchy of finite-volume meshes, finest first,
+// with fine-to-coarse node maps between consecutive levels, as used by
+// MG-CFD's inter-grid transfer loops.
+type Hierarchy struct {
+	// Levels holds the meshes, Levels[0] finest.
+	Levels []*FV3D
+	// FineToCoarse[l] maps each node of Levels[l] to its nearest node of
+	// Levels[l+1] (arity-1 map); len(FineToCoarse) == len(Levels)-1.
+	FineToCoarse [][]int32
+}
+
+// NewHierarchy builds a hierarchy with nLevels meshes by repeatedly halving
+// the structured dimensions of the finest rotor mesh. Coarsening stops early
+// if a dimension would drop below the generator minimum, so the result may
+// have fewer than nLevels levels.
+func NewHierarchy(finest *FV3D, nLevels int, rotor bool) *Hierarchy {
+	h := &Hierarchy{Levels: []*FV3D{finest}}
+	for len(h.Levels) < nLevels {
+		f := h.Levels[len(h.Levels)-1]
+		ci, cj, ck := (f.NI+1)/2, (f.NJ+1)/2, (f.NK+1)/2
+		if ci < 2 || cj < 2 || ck < 3 {
+			break
+		}
+		var c *FV3D
+		if rotor {
+			c = Rotor(ci, cj, ck)
+		} else {
+			c = Box(ci, cj, ck)
+		}
+		h.FineToCoarse = append(h.FineToCoarse, fineToCoarseMap(f, c))
+		h.Levels = append(h.Levels, c)
+	}
+	return h
+}
+
+// fineToCoarseMap maps each fine node (i,j,k) to coarse node (i/2,j/2,k/2),
+// clamped to the coarse dimensions.
+func fineToCoarseMap(f, c *FV3D) []int32 {
+	m := make([]int32, f.NNodes)
+	for i := 0; i < f.NI; i++ {
+		ci := minInt(i/2, c.NI-1)
+		for j := 0; j < f.NJ; j++ {
+			cj := minInt(j/2, c.NJ-1)
+			for k := 0; k < f.NK; k++ {
+				ck := minInt(k/2, c.NK-1)
+				m[f.nodeIndex(i, j, k)] = c.nodeIndex(ci, cj, ck)
+			}
+		}
+	}
+	return m
+}

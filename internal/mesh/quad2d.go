@@ -1,0 +1,94 @@
+package mesh
+
+// Quad2D is an unstructured view of an nx-by-ny grid of quadrilateral cells:
+// the mesh of the paper's Figure 1, with nodes, edges and cells, an
+// edges-to-nodes map of arity 2 and an edges-to-cells map of arity 2.
+// Boundary edges reference their single adjacent cell in both e2c slots.
+type Quad2D struct {
+	NNodes int
+	NEdges int
+	NCells int
+	// EdgeNodes holds the e2n map, 2 node indices per edge.
+	EdgeNodes []int32
+	// EdgeCells holds the e2c map, 2 cell indices per edge.
+	EdgeCells []int32
+	// CellNodes holds the c2n map, 4 node indices per cell (counter-clockwise).
+	CellNodes []int32
+	// Coords holds 2 coordinates per node.
+	Coords []float64
+}
+
+// NewQuad2D generates the quadrilateral mesh with nx*ny cells. nx and ny
+// must be positive.
+func NewQuad2D(nx, ny int) *Quad2D {
+	if nx < 1 || ny < 1 {
+		panic("mesh: Quad2D dimensions must be positive")
+	}
+	nnx, nny := nx+1, ny+1
+	m := &Quad2D{
+		NNodes: nnx * nny,
+		NCells: nx * ny,
+	}
+	node := func(i, j int) int32 { return int32(j*nnx + i) }
+	cell := func(i, j int) int32 { return int32(j*nx + i) }
+
+	m.Coords = make([]float64, 2*m.NNodes)
+	for j := 0; j < nny; j++ {
+		for i := 0; i < nnx; i++ {
+			n := node(i, j)
+			m.Coords[2*n] = float64(i)
+			m.Coords[2*n+1] = float64(j)
+		}
+	}
+
+	m.CellNodes = make([]int32, 0, 4*m.NCells)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			m.CellNodes = append(m.CellNodes,
+				node(i, j), node(i+1, j), node(i+1, j+1), node(i, j+1))
+		}
+	}
+
+	// Horizontal edges connect (i,j)-(i+1,j); the cells below and above.
+	// Vertical edges connect (i,j)-(i,j+1); the cells left and right.
+	for j := 0; j < nny; j++ {
+		for i := 0; i < nx; i++ {
+			m.EdgeNodes = append(m.EdgeNodes, node(i, j), node(i+1, j))
+			below, above := int32(-1), int32(-1)
+			if j > 0 {
+				below = cell(i, j-1)
+			}
+			if j < ny {
+				above = cell(i, j)
+			}
+			if below < 0 {
+				below = above
+			}
+			if above < 0 {
+				above = below
+			}
+			m.EdgeCells = append(m.EdgeCells, below, above)
+		}
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nnx; i++ {
+			m.EdgeNodes = append(m.EdgeNodes, node(i, j), node(i, j+1))
+			left, right := int32(-1), int32(-1)
+			if i > 0 {
+				left = cell(i-1, j)
+			}
+			if i < nx {
+				right = cell(i, j)
+			}
+			if left < 0 {
+				left = right
+			}
+			if right < 0 {
+				right = left
+			}
+			m.EdgeCells = append(m.EdgeCells, left, right)
+		}
+	}
+	m.NEdges = len(m.EdgeNodes) / 2
+	return m
+}

@@ -1,0 +1,222 @@
+package mgcfd
+
+import (
+	"math"
+	"testing"
+
+	"op2ca/internal/ca"
+	"op2ca/internal/cluster"
+	"op2ca/internal/core"
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+func smallHierarchy() *mesh.Hierarchy {
+	return mesh.NewHierarchy(mesh.Rotor(10, 8, 6), 3, true)
+}
+
+func TestSolverStaysFinite(t *testing.T) {
+	h := smallHierarchy()
+	app := New(h)
+	b := core.NewSeq()
+	app.Init(b)
+	for it := 0; it < 10; it++ {
+		app.Cycle(b)
+	}
+	vars := app.Levels[0].Vars.Data
+	for i, v := range vars {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("vars[%d] = %g after 10 cycles", i, v)
+		}
+	}
+	// Density must stay physical.
+	for n := 0; n < app.Levels[0].Nodes.Size; n++ {
+		if rho := vars[n*5]; rho <= 0 || rho > 100 {
+			t.Fatalf("node %d density %g unphysical", n, rho)
+		}
+	}
+	if r := app.Residual(b); r <= 0 || math.IsNaN(r) {
+		t.Fatalf("residual = %g", r)
+	}
+}
+
+func TestSolverDistributedMatchesSeq(t *testing.T) {
+	h := smallHierarchy()
+
+	ref := New(h)
+	seq := core.NewSeq()
+	ref.Init(seq)
+	for it := 0; it < 3; it++ {
+		ref.Cycle(seq)
+	}
+
+	app := New(h)
+	fine := h.Levels[0]
+	assign := partition.KWay(fine.NodeAdjacency(), 4)
+	b, err := cluster.New(cluster.Config{
+		Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: 4, Depth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Init(b)
+	for it := 0; it < 3; it++ {
+		app.Cycle(b)
+	}
+	got := b.GatherDat(app.Levels[0].Vars)
+	want := ref.Levels[0].Vars.Data
+	for i := range want {
+		rel := math.Abs(got[i]-want[i]) / (math.Abs(want[i]) + 1e-30)
+		if rel > 1e-9 {
+			t.Fatalf("vars[%d] = %.17g, want %.17g (rel %g)", i, got[i], want[i], rel)
+		}
+	}
+	// Coarse levels must agree too (inter-grid transfers cross sets).
+	for li := 1; li < len(app.Levels); li++ {
+		got := b.GatherDat(app.Levels[li].Vars)
+		want := ref.Levels[li].Vars.Data
+		for i := range want {
+			rel := math.Abs(got[i]-want[i]) / (math.Abs(want[i]) + 1e-30)
+			if rel > 1e-9 {
+				t.Fatalf("level %d vars[%d]: rel err %g", li, i, rel)
+			}
+		}
+	}
+}
+
+// TestSyntheticChainR2 checks the defining property of the synthetic chain:
+// its halo requirement is r = 2 at every chain length (the paper sets r = 2
+// for all MG-CFD benchmarks).
+func TestSyntheticChainR2(t *testing.T) {
+	h := smallHierarchy()
+	app := New(h)
+	s := NewSynthetic(app)
+	lv := app.Levels[0]
+	for _, nchains := range []int{1, 4, 16} {
+		var loops []core.Loop
+		for c := 0; c < nchains; c++ {
+			loops = append(loops,
+				core.NewLoop(kSynUpdate, lv.Edges,
+					core.ArgDat(s.sres, 0, lv.E2N, core.Inc),
+					core.ArgDat(s.sres, 1, lv.E2N, core.Inc),
+					core.ArgDat(s.spres, 0, lv.E2N, core.Read),
+					core.ArgDat(s.spres, 1, lv.E2N, core.Read)),
+				core.NewLoop(kSynFlux, lv.Edges,
+					core.ArgDat(s.sflux, 0, lv.E2N, core.Inc),
+					core.ArgDat(s.sflux, 1, lv.E2N, core.Inc),
+					core.ArgDat(s.sres, 0, lv.E2N, core.Read),
+					core.ArgDat(s.sres, 1, lv.E2N, core.Read),
+					core.ArgDatDirect(lv.EdgeW, core.Read)))
+		}
+		plan, err := ca.Inspect("synthetic", loops, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.MaxDepth != 2 {
+			t.Fatalf("nchains=%d: r = %d, want 2 (HE %v)", nchains, plan.MaxDepth, plan.HE)
+		}
+		for i, he := range plan.HE {
+			want := 2
+			if i%2 == 1 {
+				want = 1
+			}
+			if he != want {
+				t.Fatalf("nchains=%d: HE[%d] = %d, want %d", nchains, i, he, want)
+			}
+		}
+	}
+}
+
+func TestSyntheticCAMatchesSeq(t *testing.T) {
+	h := smallHierarchy()
+
+	run := func(b core.Backend, app *App, s *Synthetic) {
+		app.Init(b)
+		for it := 0; it < 3; it++ {
+			s.Run(b, 4, true)
+			app.Cycle(b)
+		}
+	}
+	ref := New(h)
+	refSyn := NewSynthetic(ref)
+	run(core.NewSeq(), ref, refSyn)
+
+	app := New(h)
+	syn := NewSynthetic(app)
+	assign := partition.KWay(h.Levels[0].NodeAdjacency(), 5)
+	b, err := cluster.New(cluster.Config{
+		Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: 5,
+		Depth: 2, MaxChainLen: 8, CA: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(b, app, syn)
+
+	for _, pair := range [][2]*core.Dat{
+		{syn.sres, refSyn.sres}, {syn.sflux, refSyn.sflux}, {syn.spres, refSyn.spres},
+	} {
+		got := b.GatherDat(pair[0])
+		want := pair[1].Data
+		for i := range want {
+			rel := math.Abs(got[i]-want[i]) / (math.Abs(want[i]) + 1e-30)
+			if rel > 1e-9 {
+				t.Fatalf("%s[%d] = %.17g, want %.17g", pair[0].Name, i, got[i], want[i])
+			}
+		}
+	}
+	cs := b.Stats().Chains["synthetic"]
+	if cs == nil || cs.CAExecutions != 3 {
+		t.Fatalf("chain stats: %+v", cs)
+	}
+}
+
+// TestSyntheticOP2ExchangesGrow verifies the communication shape the paper
+// benchmarks: standard OP2 message volume grows with the chain's loop
+// count, CA grouped volume does not.
+func TestSyntheticOP2ExchangesGrow(t *testing.T) {
+	h := smallHierarchy()
+	assign := partition.KWay(h.Levels[0].NodeAdjacency(), 6)
+
+	volume := func(caMode bool, nchains int) int64 {
+		app := New(h)
+		syn := NewSynthetic(app)
+		b, err := cluster.New(cluster.Config{
+			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: 6,
+			Depth: 2, MaxChainLen: 2 * nchains, CA: caMode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.Init(b)
+		// Warm-up execution dirties everything, then measure one run.
+		syn.Run(b, nchains, caMode)
+		before := totalBytes(b)
+		syn.Run(b, nchains, caMode)
+		return totalBytes(b) - before
+	}
+	op2At4 := volume(false, 4)
+	op2At16 := volume(false, 16)
+	caAt4 := volume(true, 4)
+	caAt16 := volume(true, 16)
+	if op2At16 < op2At4*3 {
+		t.Errorf("OP2 volume should grow ~linearly with loop count: %d -> %d", op2At4, op2At16)
+	}
+	if caAt16 != caAt4 {
+		t.Errorf("CA grouped volume should be constant: %d -> %d", caAt4, caAt16)
+	}
+	if caAt16 >= op2At16 {
+		t.Errorf("CA volume %d should be below OP2 volume %d at 32 loops", caAt16, op2At16)
+	}
+}
+
+func totalBytes(b *cluster.Backend) int64 {
+	var total int64
+	for _, ls := range b.Stats().Loops {
+		total += ls.Bytes
+	}
+	for _, cs := range b.Stats().Chains {
+		total += cs.Bytes
+	}
+	return total
+}

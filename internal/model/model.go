@@ -1,0 +1,203 @@
+// Package model implements the paper's analytic performance model for
+// loop-chains (Section 3.2, Equations (1)-(4)): the runtime of standard OP2
+// loops with per-loop halo exchanges, the runtime of the equivalent
+// communication-avoiding chain with one grouped message per neighbour, the
+// grouped message size, and the derived comparison components reported in
+// Tables 2 and 5 (communication volumes, core/halo iteration splits, gain,
+// communication reduction and computation increase percentages).
+//
+// The model consumes either hand-set parameters or counters measured by the
+// cluster back-end, and machine parameters from package machine.
+package model
+
+import "math"
+
+// LoopParams parameterises one OP2 loop for Equation (1).
+type LoopParams struct {
+	// G is g_l, the compute time of one iteration (seconds).
+	G float64
+	// CoreIters is S_l^c, iterations overlappable with communication.
+	CoreIters float64
+	// HaloIters is S_l^1 for standard execution (the single execute-halo
+	// layer) or S_l^h for CA execution (all execute-halo levels).
+	HaloIters float64
+	// NDats is d_l, the dats whose halos the loop exchanges.
+	NDats float64
+	// Neighbours is p_l, the maximum neighbours per rank.
+	Neighbours float64
+	// MsgBytes is m_l^1, the maximum per-neighbour message size in bytes.
+	MsgBytes float64
+}
+
+// Net holds the network parameters of Equations (1)-(3).
+type Net struct {
+	// L is the per-message latency (Λ for staged GPU transfers).
+	L float64
+	// B is the per-rank bandwidth in bytes/s.
+	B float64
+	// C is the per-neighbour pack/unpack cost of the grouped message
+	// (the c term of Equation (3)); zero for standard loops.
+	C float64
+}
+
+// TOp2Loop is Equation (1): the runtime of one standard OP2 loop,
+// MAX[g*S^c, 2*d*p*(L+m/B)] + g*S^1.
+func TOp2Loop(p LoopParams, n Net) float64 {
+	comm := 2 * p.NDats * p.Neighbours * (n.L + p.MsgBytes/n.B)
+	t := p.G * p.CoreIters
+	if comm > t {
+		t = comm
+	}
+	return t + p.G*p.HaloIters
+}
+
+// TOp2Chain is Equation (2): the chain runtime without CA is the sum of its
+// loops' Equation (1) times.
+func TOp2Chain(loops []LoopParams, n Net) float64 {
+	t := 0.0
+	for _, l := range loops {
+		t += TOp2Loop(l, n)
+	}
+	return t
+}
+
+// ChainParams parameterises Equation (3) for a CA-executed chain. Loops
+// carry the CA iteration splits (CoreIters shrink, HaloIters cover all halo
+// levels); communication happens once with the grouped message.
+type ChainParams struct {
+	Loops []LoopParams
+	// Neighbours is p, the maximum neighbours per rank for the grouped
+	// exchange.
+	Neighbours float64
+	// GroupedBytes is m^r, the maximum grouped message size per
+	// neighbour (Equation (4)).
+	GroupedBytes float64
+}
+
+// TCAChain is Equation (3): MAX[Σ g_l*S_l^c, p*(L + m^r/B + c)] + Σ g_l*S_l^h.
+func TCAChain(c ChainParams, n Net) float64 {
+	coreSum, haloSum := 0.0, 0.0
+	for _, l := range c.Loops {
+		coreSum += l.G * l.CoreIters
+		haloSum += l.G * l.HaloIters
+	}
+	comm := c.Neighbours * (n.L + c.GroupedBytes/n.B + n.C)
+	t := coreSum
+	if comm > t {
+		t = comm
+	}
+	return t + haloSum
+}
+
+// DatHalo describes one dat's halo contribution to the grouped message of
+// one loop, for Equation (4).
+type DatHalo struct {
+	// EehElems is S_d^{eeh,h_l}: export-execute elements up to the loop's
+	// halo extension.
+	EehElems float64
+	// EnhElems is S_d^{enh,h_l}: export-non-execute elements of the
+	// updated levels.
+	EnhElems float64
+	// ElemBytes is delta, the per-element size in bytes.
+	ElemBytes float64
+}
+
+// GroupedMsgSize is Equation (4): the grouped message size m^r, summing the
+// eeh and enh contributions of every halo-exchanged dat of every loop.
+// Note the equation (faithfully) counts a dat once per loop that exchanges
+// it; the implementation's grouped message deduplicates dats, so measured
+// sizes can be smaller.
+func GroupedMsgSize(loops [][]DatHalo) float64 {
+	m := 0.0
+	for _, dats := range loops {
+		for _, d := range dats {
+			m += (d.EehElems + d.EnhElems) * d.ElemBytes
+		}
+	}
+	return m
+}
+
+// Components are the Table 2 / Table 5 model columns for one chain
+// configuration.
+type Components struct {
+	// Op2CommBytes is Σ(2*d*p*m^1) over the chain's loops.
+	Op2CommBytes float64
+	// Op2CoreIters and Op2HaloIters are Σ S^c and Σ S^1.
+	Op2CoreIters float64
+	Op2HaloIters float64
+	// CACommBytes is p*m^r.
+	CACommBytes float64
+	// CACoreIters and CAHaloIters are the CA splits Σ S^c and Σ S^h.
+	CACoreIters float64
+	CAHaloIters float64
+	// GainPct is the modelled runtime reduction of CA over OP2 in
+	// percent (negative when CA is slower).
+	GainPct float64
+	// CommReducPct is the communication-volume reduction in percent.
+	CommReducPct float64
+	// CompIncPct is the halo (redundant) computation increase in percent
+	// of the OP2 total iterations.
+	CompIncPct float64
+}
+
+// Compare evaluates both sides of the model and derives the comparison
+// columns of Tables 2 and 5.
+func Compare(op2 []LoopParams, ca ChainParams, n Net) Components {
+	var c Components
+	for _, l := range op2 {
+		c.Op2CommBytes += 2 * l.NDats * l.Neighbours * l.MsgBytes
+		c.Op2CoreIters += l.CoreIters
+		c.Op2HaloIters += l.HaloIters
+	}
+	c.CACommBytes = ca.Neighbours * ca.GroupedBytes
+	for _, l := range ca.Loops {
+		c.CACoreIters += l.CoreIters
+		c.CAHaloIters += l.HaloIters
+	}
+	tOp2 := TOp2Chain(op2, n)
+	tCA := TCAChain(ca, Net{L: n.L, B: n.B, C: n.C})
+	if tOp2 > 0 {
+		c.GainPct = (tOp2 - tCA) / tOp2 * 100
+	}
+	if c.Op2CommBytes > 0 {
+		c.CommReducPct = (c.Op2CommBytes - c.CACommBytes) / c.Op2CommBytes * 100
+	}
+	op2Total := c.Op2CoreIters + c.Op2HaloIters
+	caTotal := c.CACoreIters + c.CAHaloIters
+	if op2Total > 0 {
+		c.CompIncPct = (caTotal - op2Total) / op2Total * 100
+	}
+	return c
+}
+
+// BreakEvenNeighbourBytes returns, for a chain whose loops are fixed, the
+// grouped message size at which the modelled CA and OP2 times are equal,
+// holding everything else constant. It answers the paper's question of
+// when a loop-chain profits from CA: chains whose m^r stays below the
+// break-even profit; chains that must ship many extra halo layers do not.
+// Returns +Inf when CA wins at any message size (comm never dominates).
+func BreakEvenNeighbourBytes(op2 []LoopParams, ca ChainParams, n Net) float64 {
+	tOp2 := TOp2Chain(op2, n)
+	coreSum, haloSum := 0.0, 0.0
+	for _, l := range ca.Loops {
+		coreSum += l.G * l.CoreIters
+		haloSum += l.G * l.HaloIters
+	}
+	// CA time = MAX[coreSum, p*(L + m/B + c)] + haloSum = tOp2.
+	target := tOp2 - haloSum
+	if target <= coreSum {
+		// Even with zero communication CA cannot reach tOp2 from above,
+		// or wins regardless of message size.
+		if coreSum+haloSum >= tOp2 {
+			return 0
+		}
+	}
+	if ca.Neighbours == 0 {
+		return math.Inf(1)
+	}
+	m := (target/ca.Neighbours - n.L - n.C) * n.B
+	if m < 0 {
+		return 0
+	}
+	return m
+}

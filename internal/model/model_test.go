@@ -1,0 +1,168 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+var net = Net{L: 2e-6, B: 2e8, C: 1e-6}
+
+func TestTOp2LoopOverlap(t *testing.T) {
+	// Compute-bound: core hides communication entirely.
+	p := LoopParams{G: 1e-6, CoreIters: 1e6, HaloIters: 100, NDats: 1, Neighbours: 4, MsgBytes: 100}
+	want := 1e-6*1e6 + 1e-6*100
+	if got := TOp2Loop(p, net); math.Abs(got-want) > 1e-12 {
+		t.Errorf("compute-bound TOp2Loop = %g, want %g", got, want)
+	}
+	// Communication-bound: comm term dominates.
+	p.CoreIters = 1
+	comm := 2.0 * 1 * 4 * (net.L + 100/net.B)
+	want = comm + 1e-6*100
+	if got := TOp2Loop(p, net); math.Abs(got-want) > 1e-12 {
+		t.Errorf("comm-bound TOp2Loop = %g, want %g", got, want)
+	}
+}
+
+func TestTOp2ChainSums(t *testing.T) {
+	p := LoopParams{G: 1e-6, CoreIters: 10, HaloIters: 5, NDats: 1, Neighbours: 2, MsgBytes: 64}
+	one := TOp2Loop(p, net)
+	if got := TOp2Chain([]LoopParams{p, p, p}, net); math.Abs(got-3*one) > 1e-12 {
+		t.Errorf("chain of 3 = %g, want %g", got, 3*one)
+	}
+}
+
+func TestTCAChainSingleMessage(t *testing.T) {
+	loops := []LoopParams{
+		{G: 1e-6, CoreIters: 1000, HaloIters: 300},
+		{G: 2e-6, CoreIters: 800, HaloIters: 200},
+	}
+	ca := ChainParams{Loops: loops, Neighbours: 4, GroupedBytes: 8192}
+	core := 1e-6*1000 + 2e-6*800
+	halo := 1e-6*300 + 2e-6*200
+	comm := 4 * (net.L + 8192/net.B + net.C)
+	want := core + halo
+	if comm > core {
+		want = comm + halo
+	}
+	if got := TCAChain(ca, net); math.Abs(got-want) > 1e-15 {
+		t.Errorf("TCAChain = %g, want %g", got, want)
+	}
+}
+
+// TestCAWinsWithManyLoops encodes the paper's central qualitative claim:
+// at fixed per-loop message cost, the OP2 time grows with the number of
+// loops (messages per loop) while the CA time pays for one grouped message,
+// so long chains with small cores profit.
+func TestCAWinsWithManyLoops(t *testing.T) {
+	mkOp2 := func(n int) []LoopParams {
+		loops := make([]LoopParams, n)
+		for i := range loops {
+			loops[i] = LoopParams{G: 1e-7, CoreIters: 500, HaloIters: 100,
+				NDats: 1, Neighbours: 8, MsgBytes: 4096}
+		}
+		return loops
+	}
+	mkCA := func(n int) ChainParams {
+		loops := make([]LoopParams, n)
+		for i := range loops {
+			// CA: smaller cores, more redundant halo work.
+			loops[i] = LoopParams{G: 1e-7, CoreIters: 350, HaloIters: 400}
+		}
+		return ChainParams{Loops: loops, Neighbours: 8, GroupedBytes: 2 * 4096}
+	}
+	gain2 := Compare(mkOp2(2), mkCA(2), net).GainPct
+	gain8 := Compare(mkOp2(8), mkCA(8), net).GainPct
+	gain32 := Compare(mkOp2(32), mkCA(32), net).GainPct
+	if !(gain32 > gain8 && gain8 > gain2) {
+		t.Errorf("gains not increasing with loop count: %g %g %g", gain2, gain8, gain32)
+	}
+	if gain32 <= 0 {
+		t.Errorf("32-loop chain should profit from CA, gain = %g%%", gain32)
+	}
+}
+
+// TestCALosesWhenComputeDominates: with huge cores relative to messages,
+// the extra redundant computation makes CA slower (the paper's gradl case).
+func TestCALosesWhenComputeDominates(t *testing.T) {
+	op2 := []LoopParams{
+		{G: 1e-6, CoreIters: 1e6, HaloIters: 1000, NDats: 1, Neighbours: 4, MsgBytes: 1024},
+		{G: 1e-6, CoreIters: 1e6, HaloIters: 1000, NDats: 1, Neighbours: 4, MsgBytes: 1024},
+	}
+	ca := ChainParams{Loops: []LoopParams{
+		{G: 1e-6, CoreIters: 1e6, HaloIters: 50000},
+		{G: 1e-6, CoreIters: 1e6, HaloIters: 50000},
+	}, Neighbours: 4, GroupedBytes: 4096}
+	c := Compare(op2, ca, net)
+	if c.GainPct >= 0 {
+		t.Errorf("compute-dominated chain should lose with CA, gain = %g%%", c.GainPct)
+	}
+	if c.CompIncPct <= 0 {
+		t.Errorf("computation increase should be positive, got %g%%", c.CompIncPct)
+	}
+}
+
+func TestGroupedMsgSize(t *testing.T) {
+	loops := [][]DatHalo{
+		{{EehElems: 100, EnhElems: 50, ElemBytes: 16}},
+		{{EehElems: 100, EnhElems: 50, ElemBytes: 16}, {EehElems: 10, EnhElems: 0, ElemBytes: 8}},
+	}
+	want := 150.0*16 + 150*16 + 80
+	if got := GroupedMsgSize(loops); got != want {
+		t.Errorf("GroupedMsgSize = %g, want %g", got, want)
+	}
+}
+
+func TestCompareComponents(t *testing.T) {
+	op2 := []LoopParams{{G: 1e-6, CoreIters: 100, HaloIters: 10, NDats: 2, Neighbours: 3, MsgBytes: 500}}
+	ca := ChainParams{Loops: []LoopParams{{G: 1e-6, CoreIters: 80, HaloIters: 40}},
+		Neighbours: 3, GroupedBytes: 600}
+	c := Compare(op2, ca, net)
+	if c.Op2CommBytes != 2*2*3*500 {
+		t.Errorf("Op2CommBytes = %g", c.Op2CommBytes)
+	}
+	if c.CACommBytes != 3*600 {
+		t.Errorf("CACommBytes = %g", c.CACommBytes)
+	}
+	if c.Op2CoreIters != 100 || c.CAHaloIters != 40 {
+		t.Error("iteration components wrong")
+	}
+	wantComm := (6000.0 - 1800) / 6000 * 100
+	if math.Abs(c.CommReducPct-wantComm) > 1e-9 {
+		t.Errorf("CommReducPct = %g, want %g", c.CommReducPct, wantComm)
+	}
+	wantComp := (120.0 - 110) / 110 * 100
+	if math.Abs(c.CompIncPct-wantComp) > 1e-9 {
+		t.Errorf("CompIncPct = %g, want %g", c.CompIncPct, wantComp)
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	op2 := []LoopParams{
+		{G: 1e-7, CoreIters: 100, HaloIters: 50, NDats: 1, Neighbours: 8, MsgBytes: 4096},
+		{G: 1e-7, CoreIters: 100, HaloIters: 50, NDats: 1, Neighbours: 8, MsgBytes: 4096},
+	}
+	ca := ChainParams{Loops: []LoopParams{
+		{G: 1e-7, CoreIters: 80, HaloIters: 150},
+		{G: 1e-7, CoreIters: 80, HaloIters: 150},
+	}, Neighbours: 8}
+	be := BreakEvenNeighbourBytes(op2, ca, net)
+	if be <= 0 {
+		t.Fatalf("break-even bytes = %g, want positive", be)
+	}
+	// At the break-even message size the two times agree.
+	ca.GroupedBytes = be
+	tOp2 := TOp2Chain(op2, net)
+	tCA := TCAChain(ca, net)
+	if math.Abs(tOp2-tCA)/tOp2 > 1e-9 {
+		t.Errorf("at break-even: OP2 %g vs CA %g", tOp2, tCA)
+	}
+	// Below break-even CA wins, above it loses.
+	ca.GroupedBytes = be / 2
+	if TCAChain(ca, net) >= tOp2 {
+		t.Error("below break-even CA should win")
+	}
+	ca.GroupedBytes = be * 2
+	if TCAChain(ca, net) <= tOp2 {
+		t.Error("above break-even CA should lose")
+	}
+}

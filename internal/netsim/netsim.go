@@ -1,0 +1,91 @@
+// Package netsim is the deterministic virtual-time network model under the
+// distributed back-ends. Ranks carry virtual clocks; an exchange posts
+// messages at each sender's clock, serialises messages on the sender's NIC,
+// charges latency L plus size/B per message, and completes a receiver's wait
+// at the latest arrival. This reproduces the communication terms of the
+// paper's Equations (1)-(3): per-message cost L + m/B, message-count
+// multipliers, and MAX-style overlap of core computation with communication.
+package netsim
+
+import "fmt"
+
+// Message is one point-to-point halo message.
+type Message struct {
+	From  int32
+	To    int32
+	Bytes int64
+}
+
+// Network holds the link parameters.
+type Network struct {
+	// Latency is the fixed per-message cost L.
+	Latency float64
+	// Bandwidth is the per-rank injection bandwidth B in bytes/s.
+	Bandwidth float64
+	// EagerThreshold, when positive, models MPI's eager/rendezvous
+	// protocol switch: messages larger than the threshold pay an extra
+	// round trip (2L) for the rendezvous handshake. Zero disables the
+	// distinction.
+	EagerThreshold int64
+}
+
+// MessageTime returns the network occupancy of one message: L + bytes/B,
+// plus the rendezvous handshake for messages above the eager threshold.
+func (n *Network) MessageTime(bytes int64) float64 {
+	t := n.Latency + float64(bytes)/n.Bandwidth
+	if n.EagerThreshold > 0 && bytes > n.EagerThreshold {
+		t += 2 * n.Latency
+	}
+	return t
+}
+
+// Deliver computes the arrival time of every message. post[r] is the virtual
+// time rank r posts its sends; messages from the same sender serialise on
+// its NIC in slice order. The returned slice parallels msgs.
+func (n *Network) Deliver(post []float64, msgs []Message) []float64 {
+	arrival := make([]float64, len(msgs))
+	busy := make(map[int32]float64, len(post))
+	for i, m := range msgs {
+		if int(m.From) >= len(post) || m.From < 0 {
+			panic(fmt.Sprintf("netsim: message %d from invalid rank %d", i, m.From))
+		}
+		t, ok := busy[m.From]
+		if !ok {
+			t = post[m.From]
+		}
+		t += n.MessageTime(m.Bytes)
+		busy[m.From] = t
+		arrival[i] = t
+	}
+	return arrival
+}
+
+// WaitAll returns, per rank, the completion time of waiting for all messages
+// addressed to it: the maximum of its own readiness time and the latest
+// arrival. Ranks receiving nothing complete at their readiness time.
+func (n *Network) WaitAll(ready []float64, msgs []Message, arrival []float64) []float64 {
+	done := make([]float64, len(ready))
+	copy(done, ready)
+	for i, m := range msgs {
+		if int(m.To) >= len(done) || m.To < 0 {
+			panic(fmt.Sprintf("netsim: message %d to invalid rank %d", i, m.To))
+		}
+		if arrival[i] > done[m.To] {
+			done[m.To] = arrival[i]
+		}
+	}
+	return done
+}
+
+// ReduceTime returns the cost of a tree allreduce of the given payload over
+// nparts ranks: ceil(log2 p) message steps.
+func (n *Network) ReduceTime(nparts int, bytes int64) float64 {
+	if nparts <= 1 {
+		return 0
+	}
+	steps := 0
+	for p := nparts - 1; p > 0; p >>= 1 {
+		steps++
+	}
+	return float64(steps) * n.MessageTime(bytes)
+}

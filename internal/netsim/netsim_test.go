@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMessageTime(t *testing.T) {
+	n := &Network{Latency: 1e-6, Bandwidth: 1e9}
+	if got := n.MessageTime(1000); !almost(got, 1e-6+1e-6) {
+		t.Errorf("MessageTime(1000) = %g, want 2e-6", got)
+	}
+	if got := n.MessageTime(0); !almost(got, 1e-6) {
+		t.Errorf("MessageTime(0) = %g, want latency only", got)
+	}
+}
+
+func TestDeliverSerialisesPerSender(t *testing.T) {
+	n := &Network{Latency: 1, Bandwidth: 1}
+	post := []float64{10, 20}
+	msgs := []Message{
+		{From: 0, To: 1, Bytes: 2}, // 10 + (1+2) = 13
+		{From: 0, To: 1, Bytes: 3}, // 13 + (1+3) = 17
+		{From: 1, To: 0, Bytes: 1}, // 20 + (1+1) = 22
+	}
+	arr := n.Deliver(post, msgs)
+	want := []float64{13, 17, 22}
+	for i := range want {
+		if !almost(arr[i], want[i]) {
+			t.Errorf("arrival[%d] = %g, want %g", i, arr[i], want[i])
+		}
+	}
+}
+
+func TestEagerRendezvousThreshold(t *testing.T) {
+	n := &Network{Latency: 1e-6, Bandwidth: 1e9, EagerThreshold: 1024}
+	small := n.MessageTime(1024) // at the threshold: still eager
+	large := n.MessageTime(1025) // one byte over: rendezvous round trip
+	if diff := large - small; diff < 2*n.Latency {
+		t.Errorf("rendezvous penalty = %g, want >= 2L", diff)
+	}
+	// Disabled threshold: no penalty anywhere.
+	n.EagerThreshold = 0
+	if n.MessageTime(1<<20) != n.Latency+float64(1<<20)/n.Bandwidth {
+		t.Error("disabled threshold must not add penalties")
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	n := &Network{Latency: 1, Bandwidth: 1}
+	ready := []float64{5, 30}
+	msgs := []Message{{From: 0, To: 1, Bytes: 1}, {From: 1, To: 0, Bytes: 1}}
+	arr := []float64{12, 40}
+	done := n.WaitAll(ready, msgs, arr)
+	if !almost(done[0], 40) || !almost(done[1], 30) {
+		t.Errorf("done = %v, want [40 30]", done)
+	}
+}
+
+func TestDeliverPanicsOnBadRank(t *testing.T) {
+	n := &Network{Latency: 1, Bandwidth: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid sender")
+		}
+	}()
+	n.Deliver([]float64{0}, []Message{{From: 5, To: 0, Bytes: 1}})
+}
+
+func TestReduceTime(t *testing.T) {
+	n := &Network{Latency: 1, Bandwidth: 1e9}
+	if n.ReduceTime(1, 100) != 0 {
+		t.Error("single rank reduce should be free")
+	}
+	t2 := n.ReduceTime(2, 8)
+	t8 := n.ReduceTime(8, 8)
+	t9 := n.ReduceTime(9, 8)
+	if !(t2 < t8 && t8 < t9) {
+		t.Errorf("reduce times not increasing: %g %g %g", t2, t8, t9)
+	}
+	if steps := t8 / n.MessageTime(8); !almost(steps, 3) {
+		t.Errorf("8-rank reduce = %g steps, want 3", steps)
+	}
+}
+
+// Property: arrivals never precede post time plus one latency, and are
+// monotone in per-sender order.
+func TestDeliverProperty(t *testing.T) {
+	n := &Network{Latency: 2e-6, Bandwidth: 5e8}
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		post := []float64{1.0}
+		msgs := make([]Message, len(sizes))
+		for i, s := range sizes {
+			msgs[i] = Message{From: 0, To: 0, Bytes: int64(s)}
+		}
+		arr := n.Deliver(post, msgs)
+		prev := post[0]
+		for i, a := range arr {
+			if a < post[0]+n.Latency || a <= prev {
+				t.Logf("arrival %d = %g not serialised", i, a)
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package partition
+
+// Quality summarises a partition of a graph: the quantities that drive
+// distributed-memory communication cost in the paper's model (halo sizes
+// scale with edge cut, message counts with neighbour counts, critical-path
+// compute with imbalance).
+type Quality struct {
+	// EdgeCut is the number of graph edges whose endpoints lie in
+	// different parts.
+	EdgeCut int
+	// MaxNeighbours is the largest number of distinct adjacent parts of
+	// any part: the p term of Equation (1).
+	MaxNeighbours int
+	// Imbalance is max part size divided by mean part size; 1.0 is
+	// perfect balance.
+	Imbalance float64
+}
+
+// Evaluate computes partition quality for the given symmetric adjacency.
+func Evaluate(adj [][]int32, a Assignment, nparts int) Quality {
+	var q Quality
+	neigh := make(map[[2]int32]struct{})
+	for v := range adj {
+		for _, w := range adj[v] {
+			if a[v] != a[w] {
+				if int32(v) < w {
+					q.EdgeCut++
+				}
+				neigh[[2]int32{a[v], a[w]}] = struct{}{}
+			}
+		}
+	}
+	counts := make([]int, nparts)
+	for pair := range neigh {
+		counts[pair[0]]++
+	}
+	for _, c := range counts {
+		if c > q.MaxNeighbours {
+			q.MaxNeighbours = c
+		}
+	}
+	sizes := a.PartSizes(nparts)
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	mean := float64(len(a)) / float64(nparts)
+	if mean > 0 {
+		q.Imbalance = float64(maxSize) / mean
+	}
+	return q
+}

@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"testing"
+
+	"op2ca/internal/mesh"
+)
+
+func TestCSRConversion(t *testing.T) {
+	// Duplicate edges (0-1 twice) must merge into edge weight 2.
+	adj := [][]int32{{1, 1, 2}, {0, 0}, {0}}
+	g := toCSR(adj)
+	if g.nv() != 3 {
+		t.Fatalf("nv = %d", g.nv())
+	}
+	if g.xadj[1]-g.xadj[0] != 2 {
+		t.Fatalf("vertex 0 should have 2 merged neighbours")
+	}
+	foundHeavy := false
+	for e := g.xadj[0]; e < g.xadj[1]; e++ {
+		if g.adjncy[e] == 1 && g.adjwgt[e] == 2 {
+			foundHeavy = true
+		}
+	}
+	if !foundHeavy {
+		t.Fatal("duplicate edge not merged into weight 2")
+	}
+	// Self-loops are dropped.
+	g2 := toCSR([][]int32{{0, 1}, {0}})
+	if g2.xadj[1]-g2.xadj[0] != 1 {
+		t.Fatal("self-loop not dropped")
+	}
+}
+
+func TestMatchingAndCoarsening(t *testing.T) {
+	// A path 0-1-2-3: matching pairs vertices, coarse graph keeps the
+	// total vertex weight and stays connected.
+	g := toCSR([][]int32{{1}, {0, 2}, {1, 3}, {2}})
+	cmap, nc := matchHeavyEdge(g)
+	if nc >= g.nv() {
+		t.Fatalf("matching did not shrink: %d -> %d", g.nv(), nc)
+	}
+	c := coarsen(g, cmap, nc)
+	var wFine, wCoarse int32
+	for _, w := range g.vwgt {
+		wFine += w
+	}
+	for _, w := range c.vwgt {
+		wCoarse += w
+	}
+	if wFine != wCoarse {
+		t.Fatalf("coarsening lost vertex weight: %d -> %d", wFine, wCoarse)
+	}
+}
+
+func TestMultilevelBeatsGreedy(t *testing.T) {
+	m := mesh.RotorForNodes(20000)
+	adj := m.NodeAdjacency()
+	for _, nparts := range []int{8, 24} {
+		ml := Evaluate(adj, multilevelKWay(adj, nparts), nparts)
+		gr := Evaluate(adj, greedyKWay(adj, nparts), nparts)
+		if ml.Imbalance > 1.06 {
+			t.Errorf("nparts=%d: multilevel imbalance %.3f", nparts, ml.Imbalance)
+		}
+		// Multilevel must not be clearly worse than flat greedy.
+		if float64(ml.EdgeCut) > 1.1*float64(gr.EdgeCut) {
+			t.Errorf("nparts=%d: multilevel cut %d vs greedy %d", nparts, ml.EdgeCut, gr.EdgeCut)
+		}
+	}
+}
+
+func TestMultilevelCoversAllParts(t *testing.T) {
+	m := mesh.RotorForNodes(8000)
+	adj := m.NodeAdjacency()
+	for _, nparts := range []int{2, 13, 40} {
+		a := multilevelKWay(adj, nparts)
+		sizes := a.PartSizes(nparts)
+		for p, s := range sizes {
+			if s == 0 {
+				t.Fatalf("nparts=%d: part %d empty", nparts, p)
+			}
+		}
+		if len(a) != m.NNodes {
+			t.Fatalf("wrong assignment length")
+		}
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	g := toCSR([][]int32{{1}, {0, 2}, {1, 3}, {2}})
+	if c := cutWeight(g, Assignment{0, 0, 1, 1}); c != 1 {
+		t.Errorf("cut = %d, want 1", c)
+	}
+	if c := cutWeight(g, Assignment{0, 1, 0, 1}); c != 3 {
+		t.Errorf("alternating cut = %d, want 3", c)
+	}
+}
