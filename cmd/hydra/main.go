@@ -25,6 +25,7 @@ import (
 	"op2ca/internal/hydra"
 	"op2ca/internal/machine"
 	"op2ca/internal/mesh"
+	"op2ca/internal/obs"
 	"op2ca/internal/partition"
 )
 
@@ -42,8 +43,16 @@ func main() {
 		serial      = flag.Bool("serial", false, "run simulated ranks on one host thread")
 		explain     = flag.Bool("explain", false, "print each chain's inspection plan and exit")
 		verify      = flag.Bool("verify", false, "compare final state against the sequential reference")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+		metricsPath = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
+		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions next to measured virtual times")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.New()
+	}
 
 	m := mesh.RotorForNodes(*meshNodes)
 	app := hydra.New(m)
@@ -94,7 +103,7 @@ func main() {
 		cb, err = cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: *ranks,
 			Depth: depth, MaxChainLen: 6, CA: *backendName == "ca",
-			Chains: chains, Machine: mach, Parallel: !*serial,
+			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: tracer,
 		})
 		if err != nil {
 			fatal(err)
@@ -115,10 +124,45 @@ func main() {
 		if *stats {
 			fmt.Print(cb.Stats().String())
 		}
+		if *modelCheck {
+			fmt.Print(cb.ModelReport())
+		}
+		if err := writeObservability(tracer, *tracePath, *metricsPath, cb); err != nil {
+			fatal(err)
+		}
 		if *verify {
 			verifyAgainstSeq(cb, m, app, *iters, chained, *safe)
 		}
+	} else if *tracePath != "" || *metricsPath != "" || *modelCheck {
+		fmt.Fprintln(os.Stderr, "hydra: -trace/-metrics/-model-check need a distributed backend (op2 or ca); ignored for seq")
 	}
+}
+
+// writeObservability exports the trace and metrics files requested on the
+// command line.
+func writeObservability(tracer *obs.Tracer, tracePath, metricsPath string, cb *cluster.Backend) error {
+	if tracePath != "" {
+		if err := tracer.WriteChromeTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans written to %s (open in Perfetto or chrome://tracing)\n", tracer.Len(), tracePath)
+	}
+	if metricsPath != "" {
+		w := os.Stdout
+		if metricsPath != "-" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		mw := obs.NewMetricsWriter(w)
+		cb.Stats().WriteMetrics(mw)
+		tracer.WriteSpanMetrics(mw)
+		return mw.Flush()
+	}
+	return nil
 }
 
 // verifyAgainstSeq reruns the identical program sequentially and reports the

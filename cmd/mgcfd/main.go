@@ -19,6 +19,7 @@ import (
 	"op2ca/internal/machine"
 	"op2ca/internal/mesh"
 	"op2ca/internal/mgcfd"
+	"op2ca/internal/obs"
 	"op2ca/internal/partition"
 )
 
@@ -35,8 +36,16 @@ func main() {
 		stats       = flag.Bool("stats", false, "print per-loop/per-chain statistics")
 		serial      = flag.Bool("serial", false, "run simulated ranks on one host thread")
 		verify      = flag.Bool("verify", false, "compare final state against the sequential reference")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+		metricsPath = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
+		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions next to measured virtual times")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.New()
+	}
 
 	m := mesh.RotorForNodes(*meshNodes)
 	h := mesh.NewHierarchy(m, *levels, true)
@@ -62,7 +71,7 @@ func main() {
 		cb, err = cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: *ranks,
 			Depth: 2, MaxChainLen: 2 * maxInt(*nchains, 1), CA: *backendName == "ca",
-			Machine: mach, Parallel: !*serial,
+			Machine: mach, Parallel: !*serial, Tracer: tracer,
 		})
 		if err != nil {
 			fatal(err)
@@ -86,10 +95,45 @@ func main() {
 		if *stats {
 			fmt.Print(cb.Stats().String())
 		}
+		if *modelCheck {
+			fmt.Print(cb.ModelReport())
+		}
+		if err := writeObservability(tracer, *tracePath, *metricsPath, cb); err != nil {
+			fatal(err)
+		}
 		if *verify {
 			verifyAgainstSeq(cb, h, app, syn, *iters, *nchains, *backendName == "ca")
 		}
+	} else if *tracePath != "" || *metricsPath != "" || *modelCheck {
+		fmt.Fprintln(os.Stderr, "mgcfd: -trace/-metrics/-model-check need a distributed backend (op2 or ca); ignored for seq")
 	}
+}
+
+// writeObservability exports the trace and metrics files requested on the
+// command line.
+func writeObservability(tracer *obs.Tracer, tracePath, metricsPath string, cb *cluster.Backend) error {
+	if tracePath != "" {
+		if err := tracer.WriteChromeTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans written to %s (open in Perfetto or chrome://tracing)\n", tracer.Len(), tracePath)
+	}
+	if metricsPath != "" {
+		w := os.Stdout
+		if metricsPath != "-" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		mw := obs.NewMetricsWriter(w)
+		cb.Stats().WriteMetrics(mw)
+		tracer.WriteSpanMetrics(mw)
+		return mw.Flush()
+	}
+	return nil
 }
 
 // verifyAgainstSeq reruns the identical program sequentially and reports the

@@ -10,9 +10,11 @@
 //	op2ca-bench -experiment fig10,table5
 //	op2ca-bench -quick                  # CI-sized scale
 //	op2ca-bench -nodes8m 120000 -rankscale 0.02 -iters 5
+//	op2ca-bench -quick -json results.json -trace trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,20 +22,46 @@ import (
 	"time"
 
 	"op2ca/internal/bench"
+	"op2ca/internal/cluster"
+	"op2ca/internal/obs"
 )
+
+// jsonResult is one experiment's table plus its wall time, for -json.
+type jsonResult struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Seconds float64    `json:"seconds"`
+}
+
+// jsonOutput is the -json document: the effective configuration and every
+// experiment's result, machine-readable for plotting or regression checks.
+type jsonOutput struct {
+	Nodes8M   int          `json:"nodes8m"`
+	Nodes24M  int          `json:"nodes24m"`
+	RankScale float64      `json:"rankscale"`
+	Iters     int          `json:"iters"`
+	Results   []jsonResult `json:"results"`
+}
 
 func main() {
 	var (
 		experiments = flag.String("experiment", "all",
 			"comma-separated experiments: "+strings.Join(bench.ExperimentOrder(), ",")+" or all")
-		quick     = flag.Bool("quick", false, "CI-sized configuration")
-		nodes8m   = flag.Int("nodes8m", 0, "override scaled 8M-class mesh node count")
-		nodes24m  = flag.Int("nodes24m", 0, "override scaled 24M-class mesh node count")
-		rankScale = flag.Float64("rankscale", 0, "override paper-nodes -> ranks scale factor")
-		iters     = flag.Int("iters", 0, "override measured main-loop iterations")
-		serial    = flag.Bool("serial", false, "run simulated ranks on one host thread")
-		out       = flag.String("o", "", "also write results to this file")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quick       = flag.Bool("quick", false, "CI-sized configuration")
+		nodes8m     = flag.Int("nodes8m", 0, "override scaled 8M-class mesh node count")
+		nodes24m    = flag.Int("nodes24m", 0, "override scaled 24M-class mesh node count")
+		rankScale   = flag.Float64("rankscale", 0, "override paper-nodes -> ranks scale factor")
+		iters       = flag.Int("iters", 0, "override measured main-loop iterations")
+		serial      = flag.Bool("serial", false, "run simulated ranks on one host thread")
+		out         = flag.String("o", "", "also write results to this file")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonPath    = flag.String("json", "", "write machine-readable results to this JSON file")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of every run (one pid per backend)")
+		metricsPath = flag.String("metrics", "", "write Prometheus text metrics for every run to this file (\"-\" for stdout)")
+		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions vs measured time after each run")
 	)
 	flag.Parse()
 
@@ -56,6 +84,37 @@ func main() {
 	if *serial {
 		cfg.Parallel = false
 	}
+	if *tracePath != "" {
+		cfg.Tracer = obs.New()
+	}
+
+	// The metrics file accumulates every run under a distinct run label;
+	// HELP/TYPE lines are deduplicated so the exposition stays valid.
+	var metricsFile *os.File
+	var mw *obs.MetricsWriter
+	if *metricsPath != "" {
+		w := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			metricsFile = f
+			w = f
+		}
+		mw = obs.NewMetricsWriter(w)
+	}
+	if *modelCheck || mw != nil {
+		cfg.Observe = func(label string, b *cluster.Backend) {
+			if *modelCheck {
+				fmt.Printf("-- %s --\n%s", label, b.ModelReport())
+			}
+			if mw != nil {
+				b.Stats().WriteMetrics(mw, obs.Label{Key: "run", Value: label})
+			}
+		}
+	}
 
 	var names []string
 	if *experiments == "all" {
@@ -69,8 +128,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "op2ca-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		sink = f
@@ -82,6 +140,8 @@ func main() {
 		}
 	}
 
+	jout := jsonOutput{Nodes8M: cfg.Nodes8M, Nodes24M: cfg.Nodes24M,
+		RankScale: cfg.RankScale, Iters: cfg.Iters}
 	emit(fmt.Sprintf("op2ca-bench: meshes %d/%d nodes, rank scale %g, %d iterations\n\n",
 		cfg.Nodes8M, cfg.Nodes24M, cfg.RankScale, cfg.Iters))
 	for _, name := range names {
@@ -94,11 +154,47 @@ func main() {
 		}
 		start := time.Now()
 		table := run(cfg)
+		elapsed := time.Since(start).Seconds()
 		if *csv {
 			emit(fmt.Sprintf("# %s\n%s\n", table.Title, table.CSV()))
 		} else {
 			emit(table.String())
-			emit(fmt.Sprintf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds()))
+			emit(fmt.Sprintf("(%s took %.1fs)\n\n", name, elapsed))
+		}
+		jout.Results = append(jout.Results, jsonResult{
+			Name: name, Title: table.Title, Header: table.Header,
+			Rows: table.Rows, Notes: table.Notes, Seconds: elapsed,
+		})
+	}
+
+	if mw != nil {
+		if err := mw.Flush(); err != nil {
+			fatal(err)
+		}
+		if metricsFile != nil {
+			fmt.Printf("metrics: written to %s\n", *metricsPath)
 		}
 	}
+	if *tracePath != "" {
+		if err := cfg.Tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d spans written to %s (open in Perfetto or chrome://tracing)\n",
+			cfg.Tracer.Len(), *tracePath)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&jout, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("json: results written to %s\n", *jsonPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "op2ca-bench:", err)
+	os.Exit(1)
 }

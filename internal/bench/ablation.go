@@ -28,6 +28,7 @@ func (c Config) runSyntheticOnce(cfg cluster.Config, h *mesh.Hierarchy, nchains 
 	syn := mgcfd.NewSynthetic(app)
 	cfg.Prog = app.Prog
 	cfg.Primary = app.Primary
+	cfg.Tracer = c.Tracer
 	b, err := cluster.New(cfg)
 	if err != nil {
 		panic("bench: " + err.Error())
@@ -38,6 +39,8 @@ func (c Config) runSyntheticOnce(cfg cluster.Config, h *mesh.Hierarchy, nchains 
 	for it := 0; it < c.Iters; it++ {
 		syn.Run(b, nchains, chained)
 	}
+	c.observe(fmt.Sprintf("synthetic ca=%v depth=%d grouped=%v loops=%d ranks=%d",
+		cfg.CA, cfg.Depth, !cfg.NoGroupedMsgs, 2*nchains, cfg.NParts), b)
 	return (b.MaxClock() - t0) / float64(c.Iters)
 }
 
@@ -197,6 +200,7 @@ func AblationGPUDirect(c Config) *Table {
 				Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: ranks,
 				Depth: 2, MaxChainLen: 6, CA: true, GPUDirect: direct,
 				Chains: hydraPaperConfig(), Machine: machine.Cirrus(), Parallel: c.Parallel,
+				Tracer: c.Tracer,
 			})
 			if err != nil {
 				panic("bench: " + err.Error())
@@ -207,6 +211,7 @@ func AblationGPUDirect(c Config) *Table {
 			for it := 0; it < c.Iters; it++ {
 				app.RunIteration(b, true)
 			}
+			c.observe(fmt.Sprintf("hydra ca gpudirect=%v ranks=%d (Cirrus)", direct, ranks), b)
 			return (b.MaxClock() - t0) / float64(c.Iters)
 		}
 		staged := run(false)

@@ -21,7 +21,9 @@ import (
 	"math"
 	"strings"
 
+	"op2ca/internal/cluster"
 	"op2ca/internal/machine"
+	"op2ca/internal/obs"
 )
 
 // Config scales the experiments.
@@ -37,6 +39,21 @@ type Config struct {
 	Iters int
 	// Parallel executes simulated ranks on multiple host threads.
 	Parallel bool
+	// Tracer, when non-nil, records virtual-time spans of every backend
+	// the experiments construct; each backend opens its own trace epoch
+	// (pid in the Chrome export), keeping timelines separate.
+	Tracer *obs.Tracer
+	// Observe, when non-nil, is called after each measured backend run
+	// with a label identifying the configuration — the hook behind
+	// op2ca-bench's -model-check and -metrics flags.
+	Observe func(label string, b *cluster.Backend)
+}
+
+// observe invokes the Observe hook if one is configured.
+func (c Config) observe(label string, b *cluster.Backend) {
+	if c.Observe != nil {
+		c.Observe(label, b)
+	}
 }
 
 // Default returns a configuration sized for interactive runs (a few

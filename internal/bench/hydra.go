@@ -45,7 +45,7 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 		b, err := cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 6, CA: caMode, Chains: hydra.MustPaperConfig(),
-			Machine: mach, Parallel: c.Parallel,
+			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer,
 		})
 		if err != nil {
 			panic("bench: " + err.Error())
@@ -84,6 +84,12 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 			}
 			dst[name] = normalise(delta, execs, ranks)
 		}
+		mode := "op2"
+		if caMode {
+			mode = "ca"
+		}
+		c.observe(fmt.Sprintf("hydra %s mesh=%d paper-nodes=%d ranks=%d (%s)",
+			mode, meshNodes, paperNodes, ranks, mach.Name), b)
 	}
 	return pt
 }

@@ -80,7 +80,7 @@ func (c Config) runMGPoint(meshNodes, paperNodes, nchains int, mach *machine.Mac
 		b, err := cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 2 * nchains, CA: caMode,
-			Machine: mach, Parallel: c.Parallel,
+			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer,
 		})
 		if err != nil {
 			panic("bench: " + err.Error())
@@ -117,6 +117,12 @@ func (c Config) runMGPoint(meshNodes, paperNodes, nchains int, mach *machine.Mac
 			pt.op2Core = float64(after.loopCore-before.loopCore) / perRank
 			pt.op2Halo = float64(after.loopHalo-before.loopHalo) / perRank
 		}
+		mode := "op2"
+		if caMode {
+			mode = "ca"
+		}
+		c.observe(fmt.Sprintf("mgcfd %s mesh=%d paper-nodes=%d loops=%d ranks=%d",
+			mode, meshNodes, paperNodes, 2*nchains, ranks), b)
 	}
 	return pt
 }

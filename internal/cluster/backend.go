@@ -10,6 +10,7 @@ import (
 	"op2ca/internal/halo"
 	"op2ca/internal/machine"
 	"op2ca/internal/netsim"
+	"op2ca/internal/obs"
 )
 
 // Config configures a distributed back-end.
@@ -48,6 +49,13 @@ type Config struct {
 	// not overlap with compute kernels, so core computation no longer
 	// hides communication. Only meaningful on GPU machines.
 	GPUDirect bool
+	// Tracer, when non-nil, records typed spans (compute, pack, send,
+	// wait, unpack, redundant, reduce, stage) on per-rank virtual-time
+	// tracks as loops execute; see package obs for the exporters. A nil
+	// tracer disables tracing at near-zero cost, and tracing never feeds
+	// back into the virtual-time arithmetic: traced and untraced runs
+	// produce bit-identical clocks and results.
+	Tracer *obs.Tracer
 	// Lazy defers loop execution and auto-detects chains at runtime (the
 	// paper's stated future work: code-gen automation via lazy
 	// evaluation). Loops queue until a synchronisation point — a global
@@ -69,10 +77,11 @@ type Backend struct {
 	owners  [][]int32
 	layouts []*halo.Layout
 	// dats[rank][datID] is the rank-local storage of each dat.
-	dats  [][][]float64
-	valid []validity
-	clock []float64
-	stats *Stats
+	dats   [][][]float64
+	valid  []validity
+	clock  []float64
+	stats  *Stats
+	tracer *obs.Tracer
 
 	rec   *recording
 	lazyQ []core.Loop
@@ -132,6 +141,11 @@ func New(cfg Config) (*Backend, error) {
 	for i := range b.valid {
 		b.valid[i] = validity{exec: cfg.Depth, nonexec: cfg.Depth}
 	}
+	b.tracer = cfg.Tracer
+	// Each backend instance opens its own trace epoch: its virtual clock
+	// starts at zero, so runs sharing one tracer (benchmark sweeps) must
+	// not share a timeline.
+	b.tracer.NewEpoch(fmt.Sprintf("%s x%d (%s)", b.Name(), cfg.NParts, cfg.Machine.Name))
 	return b, nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"op2ca/internal/ca"
 	"op2ca/internal/chaincfg"
 	"op2ca/internal/core"
+	"op2ca/internal/model"
+	"op2ca/internal/obs"
 )
 
 // runChain executes a loop-chain with the communication-avoiding scheme of
@@ -31,7 +33,12 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 
 	fallback := func() {
 		for _, l := range loops {
+			ls := b.stats.loop(name + "/" + l.Kernel.Name)
+			before := ls.Predicted
 			b.runStandard(l, name)
+			// The chain's prediction is the sum of its loops' Equation (1)
+			// predictions (Equation (2)) when it runs per-loop.
+			cs.Predicted += ls.Predicted - before
 		}
 		cs.Time += b.maxClock() - t0
 	}
@@ -147,6 +154,13 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			recvLast[msg.To] = arrivals[i]
 		}
 	}
+	traced := b.tracer.Enabled()
+	var inbound [][]int
+	if traced && exchanging {
+		b.emitPackSpans(name, res.sendBytes)
+		b.emitSendSpans(name, post, res.msgs, arrivals)
+		inbound = inboundIndex(b.cfg.NParts, res.msgs)
+	}
 	for r := 0; r < b.cfg.NParts; r++ {
 		var t float64
 		if gpuDirect {
@@ -157,16 +171,31 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			if recvLast[r] > t {
 				t = recvLast[r]
 			}
+			if traced && exchanging {
+				b.emitWaitSpans(name, r, post[r], inbound[r], res.msgs, arrivals)
+			}
 			if !b.cfg.NoGroupedMsgs {
+				if traced && res.recvBytes[r] > 0 {
+					b.tracer.Emit(int32(r), obs.TrackExec, obs.Unpack, name,
+						t, t+float64(res.recvBytes[r])/m.PackRate, res.recvBytes[r])
+				}
 				t += float64(res.recvBytes[r]) / m.PackRate
 			}
 			for i := range loops {
+				segStart := t
 				t += launch + g[i]*float64(coreEnds[r][i])
+				if traced && coreEnds[r][i] > 0 {
+					b.tracer.Emit(int32(r), obs.TrackExec, obs.Compute, loops[i].Kernel.Name, segStart, t, 0)
+				}
 				if halo := haloIters[r][i]; halo > 0 {
+					haloStart := t
 					if exchanging {
 						t += launch
 					}
 					t += g[i] * float64(halo)
+					if traced {
+						b.tracer.Emit(int32(r), obs.TrackExec, obs.Redundant, loops[i].Kernel.Name, haloStart, t, 0)
+					}
 				}
 			}
 			b.clock[r] = t
@@ -174,10 +203,24 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 		}
 		afterCore := post[r]
 		for i := range loops {
+			segStart := afterCore
 			afterCore += launch + g[i]*float64(coreEnds[r][i])
+			if traced && coreEnds[r][i] > 0 {
+				b.tracer.Emit(int32(r), obs.TrackExec, obs.Compute, loops[i].Kernel.Name, segStart, afterCore, 0)
+			}
 		}
 		t = afterCore
 		if recvLast[r] > 0 {
+			if traced {
+				stageEnd := recvLast[r]
+				if m.GPU != nil {
+					stageEnd = m.GPU.TraceStage(b.tracer, int32(r), name+" h2d", recvLast[r], res.recvBytes[r])
+				}
+				if !b.cfg.NoGroupedMsgs && res.recvBytes[r] > 0 {
+					b.tracer.Emit(int32(r), obs.TrackExec, obs.Unpack, name,
+						stageEnd, stageEnd+float64(res.recvBytes[r])/m.PackRate, res.recvBytes[r])
+				}
+			}
 			ready := recvLast[r] + m.StageTime(res.recvBytes[r])
 			if !b.cfg.NoGroupedMsgs {
 				// Unpacking the grouped message into the per-dat arrays
@@ -189,12 +232,19 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 				t = ready
 			}
 		}
+		if traced && exchanging {
+			b.emitWaitSpans(name, r, afterCore, inbound[r], res.msgs, arrivals)
+		}
 		for i := range loops {
 			if halo := haloIters[r][i]; halo > 0 {
+				haloStart := t
 				if exchanging {
 					t += launch
 				}
 				t += g[i] * float64(halo)
+				if traced {
+					b.tracer.Emit(int32(r), obs.TrackExec, obs.Redundant, loops[i].Kernel.Name, haloStart, t, 0)
+				}
 			}
 		}
 		b.clock[r] = t
@@ -210,28 +260,58 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	cs.Bytes += bytesTotal(res)
 	cs.DatsExchanged += int64(res.nDats)
 	perRank := map[int32]int{}
+	var execMaxMsg int64
 	for _, msg := range res.msgs {
 		perRank[msg.From]++
-		if msg.Bytes > cs.MaxMsgBytes {
-			cs.MaxMsgBytes = msg.Bytes
+		if msg.Bytes > execMaxMsg {
+			execMaxMsg = msg.Bytes
 		}
 	}
+	if execMaxMsg > cs.MaxMsgBytes {
+		cs.MaxMsgBytes = execMaxMsg
+	}
+	execNeigh := 0
 	for _, c := range perRank {
-		if c > cs.MaxNeighbours {
-			cs.MaxNeighbours = c
+		if c > execNeigh {
+			execNeigh = c
 		}
+	}
+	if execNeigh > cs.MaxNeighbours {
+		cs.MaxNeighbours = execNeigh
 	}
 	for r := range res.sendBytes {
 		if res.sendBytes[r] > cs.MaxRankBytes {
 			cs.MaxRankBytes = res.sendBytes[r]
 		}
 	}
+	lp := make([]model.LoopParams, n)
+	for i := 0; i < n; i++ {
+		lp[i].G = g[i]
+	}
 	for r := 0; r < b.cfg.NParts; r++ {
 		for i := 0; i < n; i++ {
 			cs.CoreIters += int64(coreEnds[r][i])
 			cs.HaloIters += int64(haloIters[r][i])
+			if c := float64(coreEnds[r][i]); c > lp[i].CoreIters {
+				lp[i].CoreIters = c
+			}
+			if h := float64(haloIters[r][i]); h > lp[i].HaloIters {
+				lp[i].HaloIters = h
+			}
 		}
 	}
+	// Equation (3) prediction from this execution's measured parameters:
+	// per-loop max core/halo iterations across ranks, the grouped message
+	// size m^r, and the unpack cost c (zero when grouping is disabled).
+	var unpack float64
+	if !b.cfg.NoGroupedMsgs {
+		unpack = float64(execMaxMsg) / m.PackRate
+	}
+	cs.Predicted += model.TCAChain(model.ChainParams{
+		Loops:        lp,
+		Neighbours:   float64(execNeigh),
+		GroupedBytes: float64(execMaxMsg),
+	}, b.modelNet(unpack))
 	cs.Time += b.maxClock() - t0
 }
 

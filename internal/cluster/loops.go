@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"op2ca/internal/core"
+	"op2ca/internal/model"
+	"op2ca/internal/obs"
 )
 
 // runStandard executes one loop the standard OP2 way (Algorithm 1): exchange
@@ -55,6 +57,20 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 		}
 	}
 	gpuDirect := b.cfg.GPUDirect && m.GPU != nil
+
+	traceKey := l.Kernel.Name
+	if chainName != "" {
+		traceKey = chainName + "/" + l.Kernel.Name
+	}
+	traced := b.tracer.Enabled()
+	var inbound [][]int
+	if traced {
+		if exchanging {
+			b.emitPackSpans(traceKey, res.sendBytes)
+			b.emitSendSpans(traceKey, post, res.msgs, arrivals)
+			inbound = inboundIndex(b.cfg.NParts, res.msgs)
+		}
+	}
 	for r := 0; r < b.cfg.NParts; r++ {
 		var t float64
 		if gpuDirect {
@@ -64,42 +80,75 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 			if recvLast[r] > t {
 				t = recvLast[r]
 			}
+			if traced && exchanging {
+				b.emitWaitSpans(traceKey, r, post[r], inbound[r], res.msgs, arrivals)
+			}
+			start := t
 			t += launch + g*float64(end[r])
 			if exchanging && end[r] > coreEnd[r] {
 				t += launch
+			}
+			if traced {
+				coreT := start + launch + g*float64(coreEnd[r])
+				if coreEnd[r] > 0 {
+					b.tracer.Emit(int32(r), obs.TrackExec, obs.Compute, l.Kernel.Name, start, coreT, 0)
+				}
+				if end[r] > coreEnd[r] {
+					b.tracer.Emit(int32(r), obs.TrackExec, obs.Redundant, l.Kernel.Name, coreT, t, 0)
+				}
 			}
 			b.clock[r] = t
 			continue
 		}
 		afterCore := post[r] + launch + g*float64(coreEnd[r])
+		if traced && coreEnd[r] > 0 {
+			b.tracer.Emit(int32(r), obs.TrackExec, obs.Compute, l.Kernel.Name, post[r], afterCore, 0)
+		}
 		t = afterCore
 		if recvLast[r] > 0 {
+			if traced && m.GPU != nil {
+				m.GPU.TraceStage(b.tracer, int32(r), traceKey+" h2d", recvLast[r], res.recvBytes[r])
+			}
 			if ready := recvLast[r] + m.StageTime(res.recvBytes[r]); ready > t {
 				t = ready
 			}
 		}
+		if traced && exchanging {
+			b.emitWaitSpans(traceKey, r, afterCore, inbound[r], res.msgs, arrivals)
+		}
 		if halo := end[r] - coreEnd[r]; halo > 0 {
+			haloStart := t
 			if exchanging {
 				t += launch // second kernel launch for the halo region
 			}
 			t += g * float64(halo)
+			if traced {
+				b.tracer.Emit(int32(r), obs.TrackExec, obs.Redundant, l.Kernel.Name, haloStart, t, 0)
+			}
 		}
 		b.clock[r] = t
 	}
 
+	var reduceTime float64
 	if bytes := b.reduceGlobals(l, gbl); bytes > 0 {
-		t := b.maxClock() + b.net.ReduceTime(b.cfg.NParts, bytes)
+		reduceTime = b.net.ReduceTime(b.cfg.NParts, bytes)
+		t := b.maxClock() + reduceTime
+		if traced {
+			for r := range b.clock {
+				b.tracer.Emit(int32(r), obs.TrackExec, obs.Reduce, traceKey, b.clock[r], t, bytes)
+			}
+		}
 		for r := range b.clock {
 			b.clock[r] = t
 		}
 	}
 
 	b.updateValidity(l)
-	b.recordLoopStats(l, chainName, res, coreEnd, end, t0)
+	b.recordLoopStats(l, chainName, res, coreEnd, end, t0, g, reduceTime)
 }
 
 func (b *Backend) recordLoopStats(l core.Loop, chainName string, res exchangeResult,
-	coreEnd, end []int, t0 float64) {
+	coreEnd, end []int, t0, g, reduceTime float64) {
 	key := l.Kernel.Name
 	if chainName != "" {
 		// Loops of a chain executed per-loop (CA off or infeasible) are
@@ -110,29 +159,50 @@ func (b *Backend) recordLoopStats(l core.Loop, chainName string, res exchangeRes
 	ls.Executions++
 	ls.Msgs += int64(len(res.msgs))
 	ls.DatsExchanged += int64(res.nDats)
+	var execMaxMsg int64
+	execMaxNeigh := 0
 	neigh := map[[2]int32]bool{}
 	perRank := make(map[int32]int)
-	for i, msg := range res.msgs {
+	for _, msg := range res.msgs {
 		ls.Bytes += msg.Bytes
-		if msg.Bytes > ls.MaxMsgBytes {
-			ls.MaxMsgBytes = msg.Bytes
+		if msg.Bytes > execMaxMsg {
+			execMaxMsg = msg.Bytes
 		}
 		if !neigh[[2]int32{msg.From, msg.To}] {
 			neigh[[2]int32{msg.From, msg.To}] = true
 			perRank[msg.From]++
 		}
-		_ = i
+	}
+	if execMaxMsg > ls.MaxMsgBytes {
+		ls.MaxMsgBytes = execMaxMsg
 	}
 	for _, n := range perRank {
-		if n > ls.MaxNeighbours {
-			ls.MaxNeighbours = n
+		if n > execMaxNeigh {
+			execMaxNeigh = n
 		}
 	}
+	if execMaxNeigh > ls.MaxNeighbours {
+		ls.MaxNeighbours = execMaxNeigh
+	}
+	maxCore, maxHalo := 0, 0
 	for r := range coreEnd {
 		ls.CoreIters += int64(coreEnd[r])
 		ls.HaloIters += int64(end[r] - coreEnd[r])
+		if coreEnd[r] > maxCore {
+			maxCore = coreEnd[r]
+		}
+		if h := end[r] - coreEnd[r]; h > maxHalo {
+			maxHalo = h
+		}
 	}
 	ls.Time += b.maxClock() - t0
+	// Equation (1) prediction from this execution's measured parameters:
+	// the per-execution building block of the model-vs-measured report.
+	ls.Predicted += reduceTime + model.TOp2Loop(model.LoopParams{
+		G: g, CoreIters: float64(maxCore), HaloIters: float64(maxHalo),
+		NDats: float64(res.nDats), Neighbours: float64(execMaxNeigh),
+		MsgBytes: float64(execMaxMsg),
+	}, b.modelNet(0))
 }
 
 func min(a, b int) int {

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"op2ca/internal/model"
+)
+
+// modelNet returns the network parameters of Equations (1)-(3) for this
+// back-end's machine: L becomes the staged-exchange latency Λ on GPU
+// machines that route halos through host memory, and c is the caller's
+// per-neighbour grouped-message pack/unpack cost.
+func (b *Backend) modelNet(c float64) model.Net {
+	m := b.cfg.Machine
+	l := m.Latency
+	if m.GPU != nil && !b.cfg.GPUDirect {
+		l = m.GPU.ExchangeLatency(m.Latency)
+	}
+	return model.Net{L: l, B: m.Bandwidth, C: c}
+}
+
+// ModelReport renders the analytic model's Equation (1)/(3) predictions next
+// to the simulator's measured virtual times, with percent error, for every
+// loop and chain this back-end executed. Predictions are accumulated per
+// execution using that execution's own measured parameters (iteration
+// splits, neighbour counts, message sizes), so the report isolates how well
+// the closed-form model tracks the event-level simulation.
+func (b *Backend) ModelReport() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "model check (%s, %d ranks)\n", b.cfg.Machine.Name, b.cfg.NParts)
+	fmt.Fprintf(&sb, "%-28s %14s %14s %8s\n", "", "predicted", "measured", "err")
+	var names []string
+	for n := range b.stats.Loops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l := b.stats.Loops[n]
+		v := model.Validation{Predicted: l.Predicted, Measured: l.Time}
+		fmt.Fprintf(&sb, "loop  %-22s %12.6fs %12.6fs %+7.1f%%\n", n, v.Predicted, v.Measured, v.ErrPct())
+	}
+	names = names[:0]
+	for n := range b.stats.Chains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := b.stats.Chains[n]
+		v := model.Validation{Predicted: c.Predicted, Measured: c.Time}
+		fmt.Fprintf(&sb, "chain %-22s %12.6fs %12.6fs %+7.1f%%\n", n, v.Predicted, v.Measured, v.ErrPct())
+	}
+	return sb.String()
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"op2ca/internal/obs"
 )
 
 // LoopStats aggregates the executions of one named loop outside chains.
@@ -29,6 +31,9 @@ type LoopStats struct {
 	// Time is the virtual wall time attributed to this loop (max over
 	// ranks, summed over executions).
 	Time float64
+	// Predicted accumulates, per execution, the Equation (1) model
+	// prediction evaluated with that execution's measured parameters.
+	Predicted float64
 }
 
 // ChainStats aggregates the executions of one named loop-chain.
@@ -59,6 +64,10 @@ type ChainStats struct {
 	// Time is the virtual wall time of the chain (max over ranks, summed
 	// over executions).
 	Time float64
+	// Predicted accumulates, per CA execution, the Equation (3) model
+	// prediction (or the Equation (2) sum of per-loop predictions when the
+	// chain fell back to per-loop execution).
+	Predicted float64
 }
 
 // Stats collects instrumentation for one Backend.
@@ -99,8 +108,9 @@ func (s *Stats) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		l := s.Loops[n]
-		fmt.Fprintf(&b, "loop %-20s x%-5d msgs %-8d bytes %-12d core %-10d halo %-10d t %.6fs\n",
-			l.Name, l.Executions, l.Msgs, l.Bytes, l.CoreIters, l.HaloIters, l.Time)
+		fmt.Fprintf(&b, "loop %-20s x%-5d msgs %-8d bytes %-12d dats %-4d nbmax %-3d msgmax %-10d core %-10d halo %-10d t %.6fs\n",
+			l.Name, l.Executions, l.Msgs, l.Bytes, l.DatsExchanged, l.MaxNeighbours, l.MaxMsgBytes,
+			l.CoreIters, l.HaloIters, l.Time)
 	}
 	names = names[:0]
 	for n := range s.Chains {
@@ -109,8 +119,67 @@ func (s *Stats) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		c := s.Chains[n]
-		fmt.Fprintf(&b, "chain %-19s x%-5d (CA %d) msgs %-8d bytes %-12d core %-10d halo %-10d t %.6fs HE%v\n",
-			c.Name, c.Executions, c.CAExecutions, c.Msgs, c.Bytes, c.CoreIters, c.HaloIters, c.Time, c.HE)
+		fmt.Fprintf(&b, "chain %-19s x%-5d (CA %d) msgs %-8d bytes %-12d dats %-4d nbmax %-3d msgmax %-10d rankmax %-10d core %-10d halo %-10d t %.6fs HE%v\n",
+			c.Name, c.Executions, c.CAExecutions, c.Msgs, c.Bytes, c.DatsExchanged, c.MaxNeighbours,
+			c.MaxMsgBytes, c.MaxRankBytes, c.CoreIters, c.HaloIters, c.Time, c.HE)
 	}
 	return b.String()
+}
+
+// WriteMetrics exposes the loop and chain counters in Prometheus text
+// exposition format. extra labels (e.g. a run or machine label) are appended
+// to every sample, so several backends can share one MetricsWriter.
+func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
+	mw.Declare("op2ca_loop_executions_total", "counter", "op_par_loop calls outside CA chains.")
+	mw.Declare("op2ca_loop_msgs_total", "counter", "Halo messages sent by standard loops.")
+	mw.Declare("op2ca_loop_bytes_total", "counter", "Halo bytes sent by standard loops.")
+	mw.Declare("op2ca_loop_core_iters_total", "counter", "Iterations overlapped with communication.")
+	mw.Declare("op2ca_loop_halo_iters_total", "counter", "Iterations executed after the wait.")
+	mw.Declare("op2ca_loop_seconds_total", "counter", "Virtual seconds attributed to the loop.")
+	mw.Declare("op2ca_loop_model_seconds_total", "counter", "Equation (1) predicted virtual seconds.")
+	var names []string
+	for n := range s.Loops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l := s.Loops[n]
+		lb := append([]obs.Label{{Key: "loop", Value: n}}, extra...)
+		mw.Sample("op2ca_loop_executions_total", lb, float64(l.Executions))
+		mw.Sample("op2ca_loop_msgs_total", lb, float64(l.Msgs))
+		mw.Sample("op2ca_loop_bytes_total", lb, float64(l.Bytes))
+		mw.Sample("op2ca_loop_core_iters_total", lb, float64(l.CoreIters))
+		mw.Sample("op2ca_loop_halo_iters_total", lb, float64(l.HaloIters))
+		mw.Sample("op2ca_loop_seconds_total", lb, l.Time)
+		mw.Sample("op2ca_loop_model_seconds_total", lb, l.Predicted)
+	}
+	mw.Declare("op2ca_chain_executions_total", "counter", "ChainEnd calls.")
+	mw.Declare("op2ca_chain_ca_executions_total", "counter", "Chain executions that ran Algorithm 2.")
+	mw.Declare("op2ca_chain_msgs_total", "counter", "Grouped messages sent by CA chains.")
+	mw.Declare("op2ca_chain_bytes_total", "counter", "Grouped bytes sent by CA chains.")
+	mw.Declare("op2ca_chain_core_iters_total", "counter", "Chain iterations overlapped with communication.")
+	mw.Declare("op2ca_chain_halo_iters_total", "counter", "Chain iterations executed after the wait.")
+	mw.Declare("op2ca_chain_max_msg_bytes", "gauge", "Largest grouped message per neighbour (m^r).")
+	mw.Declare("op2ca_chain_max_neighbours", "gauge", "Largest per-rank neighbour count (p).")
+	mw.Declare("op2ca_chain_seconds_total", "counter", "Virtual seconds attributed to the chain.")
+	mw.Declare("op2ca_chain_model_seconds_total", "counter", "Equation (3) predicted virtual seconds.")
+	names = names[:0]
+	for n := range s.Chains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := s.Chains[n]
+		lb := append([]obs.Label{{Key: "chain", Value: n}}, extra...)
+		mw.Sample("op2ca_chain_executions_total", lb, float64(c.Executions))
+		mw.Sample("op2ca_chain_ca_executions_total", lb, float64(c.CAExecutions))
+		mw.Sample("op2ca_chain_msgs_total", lb, float64(c.Msgs))
+		mw.Sample("op2ca_chain_bytes_total", lb, float64(c.Bytes))
+		mw.Sample("op2ca_chain_core_iters_total", lb, float64(c.CoreIters))
+		mw.Sample("op2ca_chain_halo_iters_total", lb, float64(c.HaloIters))
+		mw.Sample("op2ca_chain_max_msg_bytes", lb, float64(c.MaxMsgBytes))
+		mw.Sample("op2ca_chain_max_neighbours", lb, float64(c.MaxNeighbours))
+		mw.Sample("op2ca_chain_seconds_total", lb, c.Time)
+		mw.Sample("op2ca_chain_model_seconds_total", lb, c.Predicted)
+	}
 }

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"op2ca/internal/netsim"
+	"op2ca/internal/obs"
+)
+
+// trace.go holds the tracer hook points of the execution path. All span
+// emission happens after (or beside) the virtual-time arithmetic, computed
+// from the same inputs that produced it, and is gated on tracer.Enabled()
+// — tracing observes the clocks and can never perturb them.
+
+// emitPackSpans records, per sending rank, the pack phase (gathering
+// export elements into send buffers at PackRate) and, on staged GPU
+// machines, the device-to-host PCIe transfer on the rank's staging track.
+// It must run before the rank clocks are advanced past the exchange.
+func (b *Backend) emitPackSpans(name string, sendBytes []int64) {
+	m := b.cfg.Machine
+	for r := range sendBytes {
+		if sendBytes[r] == 0 {
+			continue
+		}
+		packEnd := b.clock[r] + float64(sendBytes[r])/m.PackRate
+		b.tracer.Emit(int32(r), obs.TrackExec, obs.Pack, name, b.clock[r], packEnd, sendBytes[r])
+		if m.GPU != nil && !b.cfg.GPUDirect {
+			m.GPU.TraceStage(b.tracer, int32(r), name+" d2h", packEnd, sendBytes[r])
+		}
+	}
+}
+
+// emitSendSpans records one Send span per message on the sender's track,
+// reproducing netsim's per-sender NIC serialisation: the first message of
+// a rank starts at its post time, each further message starts when the
+// previous one left.
+func (b *Backend) emitSendSpans(name string, post []float64, msgs []netsim.Message, arrivals []float64) {
+	busy := make(map[int32]float64, len(post))
+	for i, msg := range msgs {
+		start, ok := busy[msg.From]
+		if !ok {
+			start = post[msg.From]
+		}
+		b.tracer.Emit(msg.From, obs.TrackExec, obs.Send, name, start, arrivals[i], msg.Bytes)
+		busy[msg.From] = arrivals[i]
+	}
+}
+
+// emitWaitSpans records one Wait span per inbound message on the
+// receiver's track: from the moment the rank finished its core work
+// (ready) until the message's arrival. A message fully hidden by core
+// computation yields a zero-length span — still one span per neighbour
+// message, so traces expose the paper's Figure 5 (one exchange per loop)
+// versus Figure 8 (one grouped exchange per chain) contrast structurally.
+func (b *Backend) emitWaitSpans(name string, r int, ready float64, inbound []int,
+	msgs []netsim.Message, arrivals []float64) {
+	for _, i := range inbound {
+		end := arrivals[i]
+		if end < ready {
+			end = ready
+		}
+		b.tracer.Emit(int32(r), obs.TrackExec, obs.Wait, name, ready, end, msgs[i].Bytes)
+	}
+}
+
+// inboundIndex groups message indices by receiving rank, for wait-span
+// emission. Only built when tracing is enabled.
+func inboundIndex(nparts int, msgs []netsim.Message) [][]int {
+	inbound := make([][]int, nparts)
+	for i, msg := range msgs {
+		inbound[msg.To] = append(inbound[msg.To], i)
+	}
+	return inbound
+}

@@ -170,6 +170,24 @@ func Compare(op2 []LoopParams, ca ChainParams, n Net) Components {
 	return c
 }
 
+// Validation pairs a model prediction with a measurement of the same
+// quantity. The cluster back-end accumulates one prediction per loop/chain
+// execution from that execution's own measured parameters (Equations (1)
+// and (3)), so every simulated run doubles as a model-validation
+// experiment; see cluster.Backend.ModelReport.
+type Validation struct {
+	Predicted, Measured float64
+}
+
+// ErrPct returns the signed percent error of the prediction relative to
+// the measurement (0 when the measurement is 0).
+func (v Validation) ErrPct() float64 {
+	if v.Measured == 0 {
+		return 0
+	}
+	return (v.Predicted - v.Measured) / v.Measured * 100
+}
+
 // BreakEvenNeighbourBytes returns, for a chain whose loops are fixed, the
 // grouped message size at which the modelled CA and OP2 times are equal,
 // holding everything else constant. It answers the paper's question of

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteChromeTrace writes the recorded spans in Chrome trace-event JSON
+// (the "Trace Event Format"), loadable in Perfetto or chrome://tracing.
+//
+// Mapping: each epoch becomes one process (pid = epoch index, named after
+// its label); each rank becomes a thread (tid = 2*rank for the execution
+// track, 2*rank+1 for the PCIe staging track); virtual seconds map to
+// trace microseconds with nanosecond resolution. Span kinds become event
+// categories, so Perfetto can filter compute vs pack vs send vs wait vs
+// redundant individually.
+//
+// The output is deterministic: identical simulations produce byte-identical
+// files.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	item := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	spans := t.Spans()
+	type track struct {
+		epoch int32
+		rank  int32
+		trk   int8
+	}
+	seenEpoch := map[int32]bool{}
+	seenTrack := map[track]bool{}
+	for _, s := range spans {
+		if !seenEpoch[s.Epoch] {
+			seenEpoch[s.Epoch] = true
+			item(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+				s.Epoch, strconv.Quote(t.EpochLabel(s.Epoch)))
+			item(`{"ph":"M","pid":%d,"name":"process_sort_index","args":{"sort_index":%d}}`,
+				s.Epoch, s.Epoch)
+		}
+		k := track{s.Epoch, s.Rank, s.Track}
+		if !seenTrack[k] {
+			seenTrack[k] = true
+			name := fmt.Sprintf("rank %d", s.Rank)
+			if s.Track == TrackStage {
+				name = fmt.Sprintf("rank %d pcie", s.Rank)
+			}
+			tid := 2*int(s.Rank) + int(s.Track)
+			item(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				s.Epoch, tid, strconv.Quote(name))
+			item(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+				s.Epoch, tid, tid)
+		}
+		item(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":"%s","ts":%s,"dur":%s,"args":{"bytes":%d}}`,
+			s.Epoch, 2*int(s.Rank)+int(s.Track), strconv.Quote(s.Name), s.Kind,
+			us(s.Begin), us(s.Dur()), s.Bytes)
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+// us formats virtual seconds as trace microseconds with fixed nanosecond
+// precision (deterministic across runs and platforms).
+func us(sec float64) string {
+	return strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

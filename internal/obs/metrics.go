@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Label is one Prometheus label pair.
+type Label struct{ Key, Value string }
+
+// MetricsWriter emits Prometheus text exposition format (version 0.0.4).
+// It tracks which metric families have been declared so # HELP / # TYPE
+// headers are written exactly once even when several producers (loop
+// counters, chain counters, span histograms, multiple benchmark runs)
+// share one writer.
+type MetricsWriter struct {
+	w        *bufio.Writer
+	declared map[string]bool
+}
+
+// NewMetricsWriter wraps w for metrics emission.
+func NewMetricsWriter(w io.Writer) *MetricsWriter {
+	return &MetricsWriter{w: bufio.NewWriter(w), declared: map[string]bool{}}
+}
+
+// Declare writes the # HELP / # TYPE header of a metric family the first
+// time it is seen; later calls are no-ops.
+func (m *MetricsWriter) Declare(name, typ, help string) {
+	if m.declared[name] {
+		return
+	}
+	m.declared[name] = true
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one sample line: name{labels} value.
+func (m *MetricsWriter) Sample(name string, labels []Label, v float64) {
+	m.w.WriteString(name)
+	if len(labels) > 0 {
+		m.w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				m.w.WriteByte(',')
+			}
+			m.w.WriteString(l.Key)
+			m.w.WriteByte('=')
+			m.w.WriteString(strconv.Quote(l.Value))
+		}
+		m.w.WriteByte('}')
+	}
+	m.w.WriteByte(' ')
+	m.w.WriteString(formatValue(v))
+	m.w.WriteByte('\n')
+}
+
+// Flush flushes buffered output and reports any accumulated write error.
+func (m *MetricsWriter) Flush() error { return m.w.Flush() }
+
+// formatValue renders integers without an exponent and everything else in
+// shortest-round-trip form, deterministically.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SpanBuckets are the histogram bucket upper bounds (virtual seconds) of
+// WriteSpanMetrics: decades from 1 microsecond to 1 second.
+var SpanBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// WriteSpanMetrics renders the recorded spans as per-kind duration
+// histograms (op2ca_span_seconds) and byte counters
+// (op2ca_span_bytes_total), with extra labels appended to every sample.
+// A nil tracer writes nothing.
+func (t *Tracer) WriteSpanMetrics(m *MetricsWriter, extra ...Label) {
+	if t == nil {
+		return
+	}
+	type agg struct {
+		buckets []int64
+		sum     float64
+		count   int64
+		bytes   int64
+	}
+	aggs := make([]agg, numKinds)
+	for i := range aggs {
+		aggs[i].buckets = make([]int64, len(SpanBuckets))
+	}
+	for _, s := range t.Spans() {
+		a := &aggs[s.Kind]
+		d := s.Dur()
+		a.sum += d
+		a.count++
+		a.bytes += s.Bytes
+		for i, le := range SpanBuckets {
+			if d <= le {
+				a.buckets[i]++
+			}
+		}
+	}
+	labels := func(kind Kind, more ...Label) []Label {
+		out := append([]Label{{"kind", kind.String()}}, more...)
+		return append(out, extra...)
+	}
+	m.Declare("op2ca_span_seconds", "histogram",
+		"Virtual-time span durations by kind (pack/send/wait/compute/...).")
+	for _, k := range Kinds() {
+		a := aggs[k]
+		if a.count == 0 {
+			continue
+		}
+		for i, le := range SpanBuckets {
+			m.Sample("op2ca_span_seconds_bucket",
+				labels(k, Label{"le", strconv.FormatFloat(le, 'g', -1, 64)}),
+				float64(a.buckets[i]))
+		}
+		m.Sample("op2ca_span_seconds_bucket", labels(k, Label{"le", "+Inf"}), float64(a.count))
+		m.Sample("op2ca_span_seconds_sum", labels(k), a.sum)
+		m.Sample("op2ca_span_seconds_count", labels(k), float64(a.count))
+	}
+	m.Declare("op2ca_span_bytes_total", "counter",
+		"Total payload bytes of communication spans by kind.")
+	for _, k := range Kinds() {
+		if a := aggs[k]; a.count > 0 && a.bytes > 0 {
+			m.Sample("op2ca_span_bytes_total", labels(k), float64(a.bytes))
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package obs is the observability layer of the simulated runtime: typed
+// spans recorded on per-rank virtual-time tracks by the cluster back-end,
+// exported as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) and Prometheus-style text metrics.
+//
+// The span taxonomy follows the per-phase breakdown the paper's evaluation
+// rests on (pack, send, wait, unpack, core compute, redundant halo compute,
+// reduce), plus a separate staging track for host<->device PCIe transfers
+// on GPU machines (Section 3.3).
+//
+// A nil *Tracer is a valid, disabled tracer: every method is a no-op with
+// no allocations, so the execution path is instrumented unconditionally and
+// pays nearly nothing unless a trace was requested. Emission only ever
+// reads the virtual-time arithmetic — it never feeds back into it — so a
+// traced run and an untraced run produce bit-identical simulation results.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Kind classifies a span: one phase of the loop-execution timeline of the
+// paper's Algorithms 1 (per-loop exchanges) and 2 (CA chains).
+type Kind uint8
+
+const (
+	// Compute is core iterations: owned work overlappable with
+	// communication (Algorithm 2 lines 8-12).
+	Compute Kind = iota
+	// Pack is gathering export elements into send buffers.
+	Pack
+	// Send is one message occupying the sender's NIC (netsim serialises
+	// messages per sender, so send spans on one rank abut).
+	Send
+	// Wait is a receiver blocked on one inbound message beyond its core
+	// computation (zero-length when the message arrived early enough to
+	// be fully hidden).
+	Wait
+	// Unpack is scattering a received grouped message into the per-dat
+	// arrays (the c term of Equation (3); per-dat messages land directly
+	// and have no unpack span).
+	Unpack
+	// Redundant is halo-region iterations after the wait: boundary owned
+	// elements plus the redundantly computed halo shells CA trades for
+	// messages (Algorithm 2 lines 14-18).
+	Redundant
+	// Reduce is a rank participating in a global allreduce.
+	Reduce
+	// Stage is one host<->device PCIe staging transfer (GPU machines
+	// only; lives on TrackStage).
+	Stage
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Kinds lists every span kind in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Tracks within one rank's timeline.
+const (
+	// TrackExec is the rank's main execution track.
+	TrackExec int8 = 0
+	// TrackStage is the rank's PCIe staging engine (GPU machines).
+	TrackStage int8 = 1
+)
+
+// Span is one interval on a rank's virtual timeline.
+type Span struct {
+	// Epoch groups the spans of one backend instance (one simulated
+	// run); each epoch starts its virtual clock at zero.
+	Epoch int32
+	Rank  int32
+	Track int8
+	Kind  Kind
+	// Name identifies the work: the kernel name for compute/redundant
+	// spans, and the exchange owner (the chain name for CA chains, the
+	// kernel name for per-loop exchanges) for pack/send/wait/unpack.
+	Name string
+	// Begin and End are virtual seconds since the epoch's clock zero.
+	Begin, End float64
+	// Bytes is the payload of communication spans (0 otherwise).
+	Bytes int64
+}
+
+// Dur returns the span's duration in virtual seconds.
+func (s Span) Dur() float64 { return s.End - s.Begin }
+
+// Tracer records spans. The zero value is ready to use; a nil *Tracer is a
+// disabled tracer whose methods all no-op.
+type Tracer struct {
+	mu     sync.Mutex
+	labels []string
+	spans  []Span
+}
+
+// New returns an enabled tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Enabled reports whether spans are recorded; callers may use it to skip
+// preparing emission inputs entirely.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// NewEpoch opens a new span group — one simulated backend run — and makes
+// it current. The cluster back-end calls it once per construction, so a
+// tracer shared across runs (e.g. a benchmark sweep) keeps them apart.
+func (t *Tracer) NewEpoch(label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.labels = append(t.labels, label)
+	t.mu.Unlock()
+}
+
+// Emit records one span in the current epoch. On a nil tracer it returns
+// immediately without allocating. Spans may be emitted in any order;
+// exporters sort into a canonical, deterministic order.
+func (t *Tracer) Emit(rank int32, track int8, kind Kind, name string, begin, end float64, bytes int64) {
+	if t == nil {
+		return
+	}
+	if end < begin {
+		end = begin
+	}
+	t.mu.Lock()
+	epoch := int32(len(t.labels)) - 1
+	if epoch < 0 {
+		epoch = 0
+	}
+	t.spans = append(t.spans, Span{
+		Epoch: epoch, Rank: rank, Track: track, Kind: kind,
+		Name: name, Begin: begin, End: end, Bytes: bytes,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in canonical order: by epoch,
+// rank, track, begin, end, kind, name. Because span contents are fully
+// determined by the deterministic simulation, identical runs yield
+// identical slices regardless of host-thread scheduling.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Begin != b.Begin {
+			return a.Begin < b.Begin
+		}
+		if a.End != b.End {
+			return a.End > b.End // longer first: containment order for nesting
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// EpochLabel returns the label of epoch i, or a generated placeholder when
+// spans were emitted before any NewEpoch call.
+func (t *Tracer) EpochLabel(i int32) string {
+	if t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if int(i) < len(t.labels) {
+			return t.labels[i]
+		}
+	}
+	return "run"
+}

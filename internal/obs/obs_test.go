@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsDisabledNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.NewEpoch("x") // must not panic
+	tr.Emit(0, TrackExec, Compute, "k", 0, 1, 0)
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer recorded spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer exported %d events", len(doc.TraceEvents))
+	}
+	mw := NewMetricsWriter(&buf)
+	tr.WriteSpanMetrics(mw) // must not panic
+}
+
+func TestKindNames(t *testing.T) {
+	want := []string{"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage"}
+	kinds := Kinds()
+	if len(kinds) != len(want) {
+		t.Fatalf("Kinds() = %d entries, want %d", len(kinds), len(want))
+	}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestSpansCanonicalOrder(t *testing.T) {
+	tr := New()
+	tr.NewEpoch("a")
+	tr.Emit(1, TrackExec, Wait, "w", 2, 3, 0)
+	tr.Emit(0, TrackExec, Compute, "c", 1, 2, 0)
+	tr.Emit(0, TrackExec, Pack, "p", 0, 1, 8)
+	tr.NewEpoch("b")
+	tr.Emit(0, TrackExec, Compute, "c2", 0, 1, 0)
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	order := []struct {
+		epoch int32
+		rank  int32
+		name  string
+	}{{0, 0, "p"}, {0, 0, "c"}, {0, 1, "w"}, {1, 0, "c2"}}
+	for i, w := range order {
+		s := spans[i]
+		if s.Epoch != w.epoch || s.Rank != w.rank || s.Name != w.name {
+			t.Fatalf("span %d = %+v, want epoch %d rank %d name %s", i, s, w.epoch, w.rank, w.name)
+		}
+	}
+	if tr.EpochLabel(0) != "a" || tr.EpochLabel(1) != "b" || tr.EpochLabel(9) != "run" {
+		t.Fatal("epoch labels wrong")
+	}
+}
+
+func TestEmitClampsNegativeDuration(t *testing.T) {
+	tr := New()
+	tr.Emit(0, TrackExec, Wait, "w", 5, 4, 0)
+	if s := tr.Spans()[0]; s.Dur() != 0 {
+		t.Fatalf("negative-duration span not clamped: %+v", s)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tr := New()
+	tr.NewEpoch("cluster-ca x2")
+	tr.Emit(0, TrackExec, Compute, "edge_flux", 0, 1e-5, 0)
+	tr.Emit(1, TrackStage, Stage, "synth d2h", 1e-5, 2e-5, 4096)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	var compute, stage, meta int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			meta++
+		case e.Ph == "X" && e.Cat == "compute":
+			compute++
+			if e.Tid != 0 || e.Ts != 0 || e.Dur != 10 {
+				t.Fatalf("compute event mapped wrong: %+v", e)
+			}
+		case e.Ph == "X" && e.Cat == "stage":
+			stage++
+			if e.Tid != 3 { // rank 1, staging track
+				t.Fatalf("stage event tid = %d, want 3", e.Tid)
+			}
+		}
+	}
+	if compute != 1 || stage != 1 || meta == 0 {
+		t.Fatalf("events: compute %d stage %d meta %d", compute, stage, meta)
+	}
+	if !strings.Contains(buf.String(), "cluster-ca x2") {
+		t.Fatal("epoch label missing from process metadata")
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() []byte {
+		tr := New()
+		tr.NewEpoch("e")
+		for r := int32(0); r < 3; r++ {
+			tr.Emit(r, TrackExec, Compute, "k", float64(r)*1e-6, float64(r+1)*1e-6, 0)
+			tr.Emit(r, TrackExec, Send, "k", 0, 1e-6, 128)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical tracers exported different bytes")
+	}
+}
+
+func TestMetricsWriter(t *testing.T) {
+	var buf bytes.Buffer
+	mw := NewMetricsWriter(&buf)
+	mw.Declare("m_total", "counter", "help text")
+	mw.Declare("m_total", "counter", "help text") // deduped
+	mw.Sample("m_total", []Label{{"loop", "a b"}}, 3)
+	mw.Sample("m_total", nil, 0.5)
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# HELP m_total") != 1 {
+		t.Fatalf("HELP not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, `m_total{loop="a b"} 3`+"\n") {
+		t.Fatalf("labelled sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, "m_total 0.5\n") {
+		t.Fatalf("bare sample missing:\n%s", out)
+	}
+}
+
+func TestSpanMetricsHistogram(t *testing.T) {
+	tr := New()
+	tr.Emit(0, TrackExec, Pack, "x", 0, 5e-6, 100) // lands in le=1e-05 and up
+	tr.Emit(0, TrackExec, Pack, "y", 0, 5e-4, 50)  // lands in le=0.001 and up
+	var buf bytes.Buffer
+	mw := NewMetricsWriter(&buf)
+	tr.WriteSpanMetrics(mw, Label{"run", "r1"})
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`op2ca_span_seconds_bucket{kind="pack",le="1e-06",run="r1"} 0`,
+		`op2ca_span_seconds_bucket{kind="pack",le="1e-05",run="r1"} 1`,
+		`op2ca_span_seconds_bucket{kind="pack",le="0.001",run="r1"} 2`,
+		`op2ca_span_seconds_bucket{kind="pack",le="+Inf",run="r1"} 2`,
+		`op2ca_span_seconds_count{kind="pack",run="r1"} 2`,
+		`op2ca_span_bytes_total{kind="pack",run="r1"} 150`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `kind="send"`) {
+		t.Fatal("kinds with no spans should be omitted")
+	}
+}

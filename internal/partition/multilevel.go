@@ -5,6 +5,13 @@ package partition
 // greedy growing, then project the assignment back up, refining with
 // weighted FM passes at every level. This is the ParMETIS-k-way stand-in
 // the paper's MG-CFD experiments rely on.
+//
+// Every step is deterministic: edge lists assembled from maps are sorted
+// into canonical order, so the same graph always yields the same
+// assignment. Downstream consumers (halo construction, the virtual-time
+// simulator, the tracer) rely on this for reproducible runs.
+
+import "sort"
 
 // wgraph is a weighted graph in CSR form.
 type wgraph struct {
@@ -45,6 +52,9 @@ func toCSR(adj [][]int32) *wgraph {
 		for to, w := range seen {
 			es = append(es, edge{to, w})
 		}
+		// Canonical neighbour order: map iteration order must not leak
+		// into the graph, or partitions differ from run to run.
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
 		merged[v] = es
 		g.xadj[v+1] = g.xadj[v] + int32(len(es))
 	}
@@ -121,9 +131,16 @@ func coarsen(g *wgraph, cmap []int32, nc int) *wgraph {
 				}
 			}
 		}
+		tos := make([]int32, 0, len(acc))
+		for to := range acc {
+			tos = append(tos, to)
+		}
+		// Canonical order, as in toCSR: keeps coarse graphs (and hence
+		// the whole pipeline) deterministic.
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
 		pairs := make([]int32, 0, 2*len(acc))
-		for to, w := range acc {
-			pairs = append(pairs, to, w)
+		for _, to := range tos {
+			pairs = append(pairs, to, acc[to])
 		}
 		bucket[cv] = pairs
 		c.xadj[cv+1] = c.xadj[cv] + int32(len(pairs)/2)
