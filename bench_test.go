@@ -140,6 +140,39 @@ func benchClusterIteration(b *testing.B, ca bool) {
 func BenchmarkClusterChainOP2(b *testing.B) { benchClusterIteration(b, false) }
 func BenchmarkClusterChainCA(b *testing.B)  { benchClusterIteration(b, true) }
 
+// benchPlanCache measures the inspect-once/execute-many plan cache: the
+// same CA chain executed many times over a small, rank-heavy decomposition
+// where inspection and exchange-buffer churn dominate. With the cache on,
+// steady-state executions skip ca.Inspect and reuse precomputed pack/unpack
+// schedules and buffers, so allocs/op in the exchange path drop to ~zero.
+func benchPlanCache(b *testing.B, noCache bool) {
+	m := mesh.RotorForNodes(3000)
+	h := mesh.NewHierarchy(m, 1, true)
+	app := mgcfd.New(h)
+	syn := mgcfd.NewSynthetic(app)
+	cb, err := NewCluster(ClusterConfig{
+		Prog: app.Prog, Primary: app.Primary,
+		Assign: partition.KWay(m.NodeAdjacency(), 16), NParts: 16,
+		Depth: 2, MaxChainLen: 8, CA: true, NoPlanCache: noCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app.Init(cb)
+	syn.Run(cb, 4, true) // warm: inspection + schedule build on first executions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 10 chained executions per op: the steady state the cache targets.
+		for j := 0; j < 10; j++ {
+			syn.Run(cb, 1, true)
+		}
+	}
+}
+
+func BenchmarkChainExecCached(b *testing.B)   { benchPlanCache(b, false) }
+func BenchmarkChainExecUncached(b *testing.B) { benchPlanCache(b, true) }
+
 func BenchmarkHydraIterationCA(b *testing.B) {
 	m := mesh.RotorForNodes(20000)
 	app := hydra.New(m)

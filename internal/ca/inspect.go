@@ -213,6 +213,36 @@ func datAccess(l core.Loop, d *core.Dat) (core.Arg, bool) {
 // to per-loop execution.
 var ErrInfeasible = errors.New("ca: chain infeasible for communication-avoiding execution")
 
+// ChainSignature returns a comparable fingerprint of everything Inspect
+// depends on: each loop's kernel, iteration set and access descriptors, plus
+// the configured halo-extension overrides. Within one program, two chains
+// with equal signatures produce identical plans, so an executor can inspect
+// once and reuse the plan across executions (the inspector/executor
+// amortisation the runtime is built around).
+func ChainSignature(loops []core.Loop, configHE []int) string {
+	var b strings.Builder
+	for _, l := range loops {
+		b.WriteString(l.Kernel.Name)
+		fmt.Fprintf(&b, "@%d(", l.Set.ID)
+		for _, a := range l.Args {
+			if a.IsGlobal() {
+				fmt.Fprintf(&b, "g%d,", int(a.Mode))
+				continue
+			}
+			mapID := -1
+			if a.Indirect() {
+				mapID = a.Map.ID
+			}
+			fmt.Fprintf(&b, "%d.%d.%d.%d,", a.Dat.ID, mapID, a.Idx, int(a.Mode))
+		}
+		b.WriteByte(')')
+	}
+	if len(configHE) > 0 {
+		fmt.Fprintf(&b, "|he%v", configHE)
+	}
+	return b.String()
+}
+
 // DatExchange is one dat's contribution to the grouped message exchanged at
 // the start of a chain: how many execute and non-execute halo shells of the
 // dat must be imported.

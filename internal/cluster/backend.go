@@ -64,6 +64,11 @@ type Config struct {
 	// when feasible, falling back to per-loop execution otherwise.
 	// Requires CA.
 	Lazy bool
+	// NoPlanCache disables the inspect-once/execute-many execution-plan
+	// cache: every chain execution re-runs ca.Inspect and rebuilds its
+	// pack/unpack schedules from the halo layouts. An ablation and
+	// debugging knob — cached and uncached execution are bit-identical.
+	NoPlanCache bool
 }
 
 // validity tracks how many halo shells of a dat currently hold owner-fresh
@@ -85,6 +90,11 @@ type Backend struct {
 
 	rec   *recording
 	lazyQ []core.Loop
+
+	// plans is the execution-plan cache: memoised inspection results and
+	// exchange schedules, keyed by chain structure. See plancache.go.
+	plans                map[planKey]*planEntry
+	planHits, planMisses int64
 }
 
 // recording buffers the loops of an open chain.
@@ -101,6 +111,24 @@ func New(cfg Config) (*Backend, error) {
 	}
 	if cfg.NParts < 1 {
 		return nil, fmt.Errorf("cluster: NParts %d < 1", cfg.NParts)
+	}
+	if cfg.Depth < 0 {
+		return nil, fmt.Errorf("cluster: Depth %d < 0", cfg.Depth)
+	}
+	if cfg.MaxChainLen < 0 {
+		return nil, fmt.Errorf("cluster: MaxChainLen %d < 0", cfg.MaxChainLen)
+	}
+	if len(cfg.Assign) != cfg.Primary.Size {
+		return nil, fmt.Errorf("cluster: %d assignments for primary set %s of size %d",
+			len(cfg.Assign), cfg.Primary.Name, cfg.Primary.Size)
+	}
+	for i, a := range cfg.Assign {
+		if a < 0 || int(a) >= cfg.NParts {
+			return nil, fmt.Errorf("cluster: Assign[%d] = %d outside [0, %d)", i, a, cfg.NParts)
+		}
+	}
+	if cfg.Lazy && !cfg.CA {
+		return nil, fmt.Errorf("cluster: Lazy requires CA (lazy chains execute with Algorithm 2)")
 	}
 	if cfg.Depth == 0 {
 		cfg.Depth = 1
@@ -125,6 +153,7 @@ func New(cfg Config) (*Backend, error) {
 		valid:   make([]validity, len(cfg.Prog.Dats)),
 		clock:   make([]float64, cfg.NParts),
 		stats:   newStats(),
+		plans:   map[planKey]*planEntry{},
 	}
 	for r := range b.dats {
 		b.dats[r] = make([][]float64, len(cfg.Prog.Dats))
@@ -214,7 +243,7 @@ func (b *Backend) ChainEnd() {
 
 	cs := b.stats.chain(rec.name)
 	cs.Executions++
-	cs.NLoop = len(rec.loops)
+	cs.noteLen(len(rec.loops))
 
 	chainCfg := b.cfg.Chains.Get(rec.name)
 	useCA := b.cfg.CA && len(rec.loops) > 1 && (chainCfg == nil || !chainCfg.Disabled)
@@ -242,7 +271,7 @@ func (b *Backend) ParLoop(l core.Loop) {
 		b.rec.loops = append(b.rec.loops, l)
 		return
 	}
-	if b.cfg.Lazy && b.cfg.CA {
+	if b.cfg.Lazy {
 		if l.HasGlobalReduction() {
 			// A global reduction is a synchronisation point: it ends any
 			// implicit chain.
@@ -269,13 +298,24 @@ func (b *Backend) FlushLazy() {
 		return
 	}
 	b.lazyQ = nil
-	if len(q) == 1 {
-		b.runStandard(q[0], "")
-		return
-	}
+	// Every flush counts as one execution of the "lazy" chain, single-loop
+	// flushes included, and the chain-length spread is tracked via
+	// noteLen: auto-detected chain lengths vary from flush to flush, so a
+	// single last-writer NLoop would misreport the row.
 	cs := b.stats.chain("lazy")
 	cs.Executions++
-	cs.NLoop = len(q)
+	cs.noteLen(len(q))
+	if len(q) == 1 {
+		// One queued loop: no chain to build. Run it per-loop, attributed
+		// to the lazy chain exactly like a chain fallback.
+		ls := b.stats.loop("lazy/" + q[0].Kernel.Name)
+		before := ls.Predicted
+		t0 := b.maxClock()
+		b.runStandard(q[0], "lazy")
+		cs.Predicted += ls.Predicted - before
+		cs.Time += b.maxClock() - t0
+		return
+	}
 	b.runChainAuto("lazy", q, cs)
 }
 

@@ -51,7 +51,16 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			panic("cluster: " + err.Error())
 		}
 	}
-	plan, err := ca.Inspect(name, loops, overrides)
+	// Inspect once, execute many: the plan cache memoises the inspection
+	// result (and, below, the exchange schedules) per chain structure.
+	entry := b.planEntry(name, loops, overrides)
+	var plan ca.Plan
+	var err error
+	if entry != nil {
+		plan, err = entry.plan, entry.err
+	} else {
+		plan, err = ca.Inspect(name, loops, overrides)
+	}
 	if errors.Is(err, ca.ErrInfeasible) {
 		// Dependencies not satisfiable by redundant computation: run the
 		// chain as ordinary per-loop OP2 code.
@@ -78,12 +87,9 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			name, len(loops), b.cfg.MaxChainLen))
 	}
 
-	specs := make([]exchangeSpec, 0, len(plan.Required))
-	for _, r := range plan.Required {
-		specs = append(specs, exchangeSpec{dat: r.Dat, execDepth: r.ExecDepth, nonexecDepth: r.NonexecDepth})
-	}
+	specs := entry.specsFor(plan)
 	specs = b.filterNeeds(specs)
-	res := b.doExchange(specs, !b.cfg.NoGroupedMsgs)
+	res := b.exchangeFor(entry, specs)
 	exchanging := len(res.msgs) > 0
 
 	n := len(loops)
@@ -259,10 +265,17 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	cs.Msgs += int64(len(res.msgs))
 	cs.Bytes += bytesTotal(res)
 	cs.DatsExchanged += int64(res.nDats)
+	// Neighbour counts dedup (From, To) pairs: with NoGroupedMsgs a rank
+	// sends several per-dat messages to the same neighbour, and counting
+	// raw messages would inflate the p term of Equation (3).
+	neigh := map[[2]int32]bool{}
 	perRank := map[int32]int{}
 	var execMaxMsg int64
 	for _, msg := range res.msgs {
-		perRank[msg.From]++
+		if pair := [2]int32{msg.From, msg.To}; !neigh[pair] {
+			neigh[pair] = true
+			perRank[msg.From]++
+		}
 		if msg.Bytes > execMaxMsg {
 			execMaxMsg = msg.Bytes
 		}

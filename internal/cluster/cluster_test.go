@@ -370,6 +370,25 @@ func TestNewErrors(t *testing.T) {
 	if _, err := New(Config{Prog: p, Primary: nodes, Assign: []int32{0}, NParts: 1}); err == nil {
 		t.Error("expected error for assignment length mismatch")
 	}
+	good := []int32{0, 0, 0, 0}
+	if _, err := New(Config{Prog: p, Primary: nodes, Assign: good, NParts: 1, Depth: -1}); err == nil {
+		t.Error("expected error for negative Depth")
+	}
+	if _, err := New(Config{Prog: p, Primary: nodes, Assign: good, NParts: 1, MaxChainLen: -3}); err == nil {
+		t.Error("expected error for negative MaxChainLen")
+	}
+	if _, err := New(Config{Prog: p, Primary: nodes, Assign: []int32{0, 2, 0, 0}, NParts: 2}); err == nil {
+		t.Error("expected error for assignment outside [0, NParts)")
+	}
+	if _, err := New(Config{Prog: p, Primary: nodes, Assign: []int32{0, -1, 0, 0}, NParts: 2}); err == nil {
+		t.Error("expected error for negative assignment")
+	}
+	if _, err := New(Config{Prog: p, Primary: nodes, Assign: good, NParts: 1, Lazy: true}); err == nil {
+		t.Error("expected error for Lazy without CA")
+	}
+	if _, err := New(Config{Prog: p, Primary: nodes, Assign: good, NParts: 1, Lazy: true, CA: true}); err != nil {
+		t.Errorf("Lazy with CA should be accepted: %v", err)
+	}
 }
 
 func TestChainDepthPanic(t *testing.T) {

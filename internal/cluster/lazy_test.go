@@ -103,6 +103,61 @@ func TestLazyFlushTriggers(t *testing.T) {
 	b.ChainEnd()
 }
 
+// TestLazyStatsCountEveryFlush: the "lazy" chain row must count every
+// flush — single-loop flushes included — and track the min/max auto-
+// detected chain length, not just whichever flush ran last.
+func TestLazyStatsCountEveryFlush(t *testing.T) {
+	m := mesh.Rotor(6, 5, 4)
+	p := core.NewProgram()
+	nodes := p.DeclSet(m.NNodes, "nodes")
+	edges := p.DeclSet(m.NEdges, "edges")
+	e2n := p.DeclMap(edges, nodes, 2, m.EdgeNodes, "e2n")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	y := p.DeclDat(nodes, 1, nil, "y")
+	for i := range x.Data {
+		x.Data[i] = float64(i%5 - 2)
+	}
+	inc := core.NewLoop(&core.Kernel{Name: "lz_len", Flops: 2, MemBytes: 32,
+		Fn: func(a [][]float64) { a[0][0] += a[1][0] }}, edges,
+		core.ArgDat(y, 0, e2n, core.Inc), core.ArgDat(x, 1, e2n, core.Read))
+
+	b, err := New(Config{Prog: p, Primary: nodes,
+		Assign: partition.Block(m.NNodes, 3), NParts: 3,
+		Depth: 2, MaxChainLen: 3, CA: true, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three flushes of decreasing length: 3 (capacity), 2 (observation),
+	// 1 (observation, single-loop per-loop fallback).
+	for i := 0; i < 3; i++ {
+		b.ParLoop(inc)
+	}
+	b.ParLoop(inc)
+	b.ParLoop(inc)
+	_ = b.GatherDat(y)
+	b.ParLoop(inc)
+	_ = b.GatherDat(y)
+
+	cs := b.stats.chain("lazy")
+	if cs.Executions != 3 {
+		t.Errorf("Executions = %d, want 3 (every flush counts, single-loop flushes included)", cs.Executions)
+	}
+	if cs.NLoopMin != 1 || cs.NLoopMax != 3 {
+		t.Errorf("NLoopMin/NLoopMax = %d/%d, want 1/3", cs.NLoopMin, cs.NLoopMax)
+	}
+	if cs.NLoop != 1 {
+		t.Errorf("NLoop = %d, want 1 (most recent flush)", cs.NLoop)
+	}
+	if cs.CAExecutions != 2 {
+		t.Errorf("CAExecutions = %d, want 2 (the length-3 and length-2 chains)", cs.CAExecutions)
+	}
+	// The single-loop flush is attributed to the lazy chain like a chain
+	// fallback, so its time lands on the chain row.
+	if ls := b.stats.Loops["lazy/lz_len"]; ls == nil || ls.Executions != 1 {
+		t.Errorf("single-loop flush not attributed to the lazy chain: %+v", ls)
+	}
+}
+
 // TestLazyDepthOverflowFallsBack: an automatic chain needing more halo
 // shells than built must fall back per-loop, not panic.
 func TestLazyDepthOverflowFallsBack(t *testing.T) {

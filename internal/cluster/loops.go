@@ -205,13 +205,4 @@ func (b *Backend) recordLoopStats(l core.Loop, chainName string, res exchangeRes
 	}, b.modelNet(0))
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-var _ = min // used by chain execution
-
 var _ core.Backend = (*Backend)(nil)
