@@ -22,6 +22,7 @@ import (
 	"op2ca/internal/chaincfg"
 	"op2ca/internal/cluster"
 	"op2ca/internal/core"
+	"op2ca/internal/faults"
 	"op2ca/internal/hydra"
 	"op2ca/internal/machine"
 	"op2ca/internal/mesh"
@@ -46,12 +47,22 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
 		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions next to measured virtual times")
+		faultSpec   = flag.String("faults", "",
+			"deterministic fault-injection spec, e.g. drop=0.01,straggler=rank3:10x,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
 	)
 	flag.Parse()
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.New()
+	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		p, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
 	}
 
 	m := mesh.RotorForNodes(*meshNodes)
@@ -103,7 +114,7 @@ func main() {
 		cb, err = cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: *ranks,
 			Depth: depth, MaxChainLen: 6, CA: *backendName == "ca",
-			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: tracer,
+			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: tracer, Faults: plan,
 		})
 		if err != nil {
 			fatal(err)
@@ -121,6 +132,12 @@ func main() {
 	fmt.Printf("backend %s: setup + %d iterations complete\n", b.Name(), *iters)
 	if cb != nil {
 		fmt.Printf("virtual time (slowest rank): %.6fs over %d ranks\n", cb.MaxClock(), cb.NParts())
+		if plan != nil {
+			fs := cb.Stats().Faults
+			fmt.Printf("faults: %s -> drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n",
+				plan.String(), fs.Drops, fs.Corrupts, fs.Delays, fs.Retries, fs.Giveups,
+				fs.FallbackUngrouped, fs.FallbackPerLoop)
+		}
 		if *stats {
 			fmt.Print(cb.Stats().String())
 		}
@@ -133,8 +150,8 @@ func main() {
 		if *verify {
 			verifyAgainstSeq(cb, m, app, *iters, chained, *safe)
 		}
-	} else if *tracePath != "" || *metricsPath != "" || *modelCheck {
-		fmt.Fprintln(os.Stderr, "hydra: -trace/-metrics/-model-check need a distributed backend (op2 or ca); ignored for seq")
+	} else if *tracePath != "" || *metricsPath != "" || *modelCheck || plan != nil {
+		fmt.Fprintln(os.Stderr, "hydra: -trace/-metrics/-model-check/-faults need a distributed backend (op2 or ca); ignored for seq")
 	}
 }
 

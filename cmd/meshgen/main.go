@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"op2ca/internal/faults"
 	"op2ca/internal/mesh"
 	"op2ca/internal/partition"
 )
@@ -26,8 +27,18 @@ func main() {
 		out    = flag.String("o", "", "save the mesh to this file")
 		nparts = flag.Int("partition", 0, "report partition quality for this many parts")
 		stats  = flag.Bool("stats", false, "print mesh statistics")
+		lint   = flag.String("faults", "",
+			"lint a fault-injection spec: parse it and print the normalised form (meshgen runs no backend; use the spec with mgcfd/hydra/op2ca-bench)")
 	)
 	flag.Parse()
+
+	if *lint != "" {
+		p, err := faults.Parse(*lint)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("faults: %s\n", p.String())
+	}
 
 	var m *mesh.FV3D
 	var err error

@@ -16,6 +16,7 @@ import (
 
 	"op2ca/internal/cluster"
 	"op2ca/internal/core"
+	"op2ca/internal/faults"
 	"op2ca/internal/machine"
 	"op2ca/internal/mesh"
 	"op2ca/internal/mgcfd"
@@ -39,12 +40,22 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
 		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions next to measured virtual times")
+		faultSpec   = flag.String("faults", "",
+			"deterministic fault-injection spec, e.g. drop=0.01,corrupt=0.002,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
 	)
 	flag.Parse()
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.New()
+	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		p, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
 	}
 
 	m := mesh.RotorForNodes(*meshNodes)
@@ -71,7 +82,7 @@ func main() {
 		cb, err = cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: *ranks,
 			Depth: 2, MaxChainLen: 2 * maxInt(*nchains, 1), CA: *backendName == "ca",
-			Machine: mach, Parallel: !*serial, Tracer: tracer,
+			Machine: mach, Parallel: !*serial, Tracer: tracer, Faults: plan,
 		})
 		if err != nil {
 			fatal(err)
@@ -92,6 +103,12 @@ func main() {
 	fmt.Printf("backend %s: %d iterations, density L1 residual %.6e\n", b.Name(), *iters, res)
 	if cb != nil {
 		fmt.Printf("virtual time (slowest rank): %.6fs over %d ranks\n", cb.MaxClock(), cb.NParts())
+		if plan != nil {
+			fs := cb.Stats().Faults
+			fmt.Printf("faults: %s -> drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n",
+				plan.String(), fs.Drops, fs.Corrupts, fs.Delays, fs.Retries, fs.Giveups,
+				fs.FallbackUngrouped, fs.FallbackPerLoop)
+		}
 		if *stats {
 			fmt.Print(cb.Stats().String())
 		}
@@ -104,8 +121,8 @@ func main() {
 		if *verify {
 			verifyAgainstSeq(cb, h, app, syn, *iters, *nchains, *backendName == "ca")
 		}
-	} else if *tracePath != "" || *metricsPath != "" || *modelCheck {
-		fmt.Fprintln(os.Stderr, "mgcfd: -trace/-metrics/-model-check need a distributed backend (op2 or ca); ignored for seq")
+	} else if *tracePath != "" || *metricsPath != "" || *modelCheck || plan != nil {
+		fmt.Fprintln(os.Stderr, "mgcfd: -trace/-metrics/-model-check/-faults need a distributed backend (op2 or ca); ignored for seq")
 	}
 }
 

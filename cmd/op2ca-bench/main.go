@@ -23,6 +23,7 @@ import (
 
 	"op2ca/internal/bench"
 	"op2ca/internal/cluster"
+	"op2ca/internal/faults"
 	"op2ca/internal/obs"
 )
 
@@ -36,14 +37,32 @@ type jsonResult struct {
 	Seconds float64    `json:"seconds"`
 }
 
+// jsonFaults mirrors cluster.FaultStats with stable JSON names, summed over
+// every backend the experiments construct. All zeros on a fault-free run.
+type jsonFaults struct {
+	Drops             int64 `json:"drops"`
+	Corrupts          int64 `json:"corrupts"`
+	Delays            int64 `json:"delays"`
+	Retries           int64 `json:"retries"`
+	Giveups           int64 `json:"giveups"`
+	FallbackUngrouped int64 `json:"fallback_ungrouped"`
+	FallbackPerLoop   int64 `json:"fallback_perloop"`
+}
+
 // jsonOutput is the -json document: the effective configuration and every
 // experiment's result, machine-readable for plotting or regression checks.
+// Checksums maps each measured run's label to an FNV-1a hash of its final
+// dat values; a faulted run must produce the same map as a fault-free one
+// (faults shape virtual time, never data), which CI asserts with jq.
 type jsonOutput struct {
-	Nodes8M   int          `json:"nodes8m"`
-	Nodes24M  int          `json:"nodes24m"`
-	RankScale float64      `json:"rankscale"`
-	Iters     int          `json:"iters"`
-	Results   []jsonResult `json:"results"`
+	Nodes8M   int               `json:"nodes8m"`
+	Nodes24M  int               `json:"nodes24m"`
+	RankScale float64           `json:"rankscale"`
+	Iters     int               `json:"iters"`
+	FaultSpec string            `json:"fault_spec,omitempty"`
+	Faults    *jsonFaults       `json:"faults,omitempty"`
+	Checksums map[string]string `json:"checksums,omitempty"`
+	Results   []jsonResult      `json:"results"`
 }
 
 func main() {
@@ -62,8 +81,19 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of every run (one pid per backend)")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics for every run to this file (\"-\" for stdout)")
 		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions vs measured time after each run")
+		faultSpec   = flag.String("faults", "",
+			"deterministic fault-injection spec, e.g. drop=0.05,seed=1 (see internal/faults); results stay bit-identical, virtual times include recovery")
 	)
 	flag.Parse()
+
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		p, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
+	}
 
 	cfg := bench.Default()
 	if *quick {
@@ -87,6 +117,7 @@ func main() {
 	if *tracePath != "" {
 		cfg.Tracer = obs.New()
 	}
+	cfg.Faults = plan
 
 	// The metrics file accumulates every run under a distinct run label;
 	// HELP/TYPE lines are deduplicated so the exposition stays valid.
@@ -105,7 +136,15 @@ func main() {
 		}
 		mw = obs.NewMetricsWriter(w)
 	}
-	if *modelCheck || mw != nil {
+	// The Observe hook composes every per-run consumer: model checks,
+	// metrics export, fault-counter aggregation and (for -json) per-run dat
+	// checksums, so a faulted run can be diffed against a fault-free one.
+	var faultTotals cluster.FaultStats
+	var checksums map[string]string
+	if *jsonPath != "" {
+		checksums = map[string]string{}
+	}
+	if *modelCheck || mw != nil || checksums != nil || plan != nil {
 		cfg.Observe = func(label string, b *cluster.Backend) {
 			if *modelCheck {
 				fmt.Printf("-- %s --\n%s", label, b.ModelReport())
@@ -113,6 +152,10 @@ func main() {
 			if mw != nil {
 				b.Stats().WriteMetrics(mw, obs.Label{Key: "run", Value: label})
 			}
+			if checksums != nil {
+				checksums[label] = b.ChecksumDats()
+			}
+			faultTotals.Add(b.Stats().Faults)
 		}
 	}
 
@@ -167,6 +210,12 @@ func main() {
 		})
 	}
 
+	if plan != nil {
+		emit(fmt.Sprintf("faults: %s -> drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n\n",
+			plan.String(), faultTotals.Drops, faultTotals.Corrupts, faultTotals.Delays,
+			faultTotals.Retries, faultTotals.Giveups,
+			faultTotals.FallbackUngrouped, faultTotals.FallbackPerLoop))
+	}
 	if mw != nil {
 		if err := mw.Flush(); err != nil {
 			fatal(err)
@@ -183,6 +232,19 @@ func main() {
 			cfg.Tracer.Len(), *tracePath)
 	}
 	if *jsonPath != "" {
+		if plan != nil {
+			jout.FaultSpec = plan.String()
+		}
+		jout.Faults = &jsonFaults{
+			Drops:             faultTotals.Drops,
+			Corrupts:          faultTotals.Corrupts,
+			Delays:            faultTotals.Delays,
+			Retries:           faultTotals.Retries,
+			Giveups:           faultTotals.Giveups,
+			FallbackUngrouped: faultTotals.FallbackUngrouped,
+			FallbackPerLoop:   faultTotals.FallbackPerLoop,
+		}
+		jout.Checksums = checksums
 		data, err := json.MarshalIndent(&jout, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -29,6 +29,7 @@ func (c Config) runSyntheticOnce(cfg cluster.Config, h *mesh.Hierarchy, nchains 
 	cfg.Prog = app.Prog
 	cfg.Primary = app.Primary
 	cfg.Tracer = c.Tracer
+	cfg.Faults = c.Faults
 	b, err := cluster.New(cfg)
 	if err != nil {
 		panic("bench: " + err.Error())
@@ -200,7 +201,7 @@ func AblationGPUDirect(c Config) *Table {
 				Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: ranks,
 				Depth: 2, MaxChainLen: 6, CA: true, GPUDirect: direct,
 				Chains: hydraPaperConfig(), Machine: machine.Cirrus(), Parallel: c.Parallel,
-				Tracer: c.Tracer,
+				Tracer: c.Tracer, Faults: c.Faults,
 			})
 			if err != nil {
 				panic("bench: " + err.Error())

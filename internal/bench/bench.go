@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"op2ca/internal/cluster"
+	"op2ca/internal/faults"
 	"op2ca/internal/machine"
 	"op2ca/internal/obs"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// with a label identifying the configuration — the hook behind
 	// op2ca-bench's -model-check and -metrics flags.
 	Observe func(label string, b *cluster.Backend)
+	// Faults, when non-nil, injects the deterministic fault plan into
+	// every backend the experiments construct (the -faults flag). Results
+	// stay bit-identical to the fault-free run; virtual times include
+	// retransmission and degradation costs.
+	Faults *faults.Plan
 }
 
 // observe invokes the Observe hook if one is configured.

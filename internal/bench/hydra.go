@@ -45,7 +45,7 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 		b, err := cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 6, CA: caMode, Chains: hydra.MustPaperConfig(),
-			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer,
+			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer, Faults: c.Faults,
 		})
 		if err != nil {
 			panic("bench: " + err.Error())

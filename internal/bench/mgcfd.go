@@ -80,7 +80,7 @@ func (c Config) runMGPoint(meshNodes, paperNodes, nchains int, mach *machine.Mac
 		b, err := cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 2 * nchains, CA: caMode,
-			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer,
+			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer, Faults: c.Faults,
 		})
 		if err != nil {
 			panic("bench: " + err.Error())

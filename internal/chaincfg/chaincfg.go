@@ -39,6 +39,10 @@ type Chain struct {
 	MaxHE int
 	// Disabled chains execute as ordinary per-loop OP2 code.
 	Disabled bool
+	// MaxRetries overrides the back-end's per-message retransmission
+	// budget for this chain's exchanges under fault injection; 0 means
+	// "use the back-end default".
+	MaxRetries int
 	// Loops lists the constituent loops in chain order; may be empty when
 	// the application demarcates chains itself.
 	Loops []LoopCfg
@@ -117,6 +121,12 @@ func Parse(r io.Reader) (*Config, error) {
 						return nil, fmt.Errorf("chaincfg: line %d: bad maxhe %q", lineNo, f)
 					}
 					cur.MaxHE = v
+				case strings.HasPrefix(f, "maxretries="):
+					v, err := strconv.Atoi(strings.TrimPrefix(f, "maxretries="))
+					if err != nil || v < 1 {
+						return nil, fmt.Errorf("chaincfg: line %d: bad maxretries %q", lineNo, f)
+					}
+					cur.MaxRetries = v
 				default:
 					return nil, fmt.Errorf("chaincfg: line %d: unknown chain option %q", lineNo, f)
 				}
@@ -165,6 +175,9 @@ func (c *Config) String() string {
 		fmt.Fprintf(&b, "chain %s", ch.Name)
 		if ch.MaxHE > 0 {
 			fmt.Fprintf(&b, " maxhe=%d", ch.MaxHE)
+		}
+		if ch.MaxRetries > 0 {
+			fmt.Fprintf(&b, " maxretries=%d", ch.MaxRetries)
 		}
 		if ch.Disabled {
 			b.WriteString(" disable")

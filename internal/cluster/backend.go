@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sync"
 
 	"op2ca/internal/chaincfg"
 	"op2ca/internal/core"
+	"op2ca/internal/faults"
 	"op2ca/internal/halo"
 	"op2ca/internal/machine"
 	"op2ca/internal/netsim"
@@ -69,6 +72,28 @@ type Config struct {
 	// pack/unpack schedules from the halo layouts. An ablation and
 	// debugging knob — cached and uncached execution are bit-identical.
 	NoPlanCache bool
+	// Faults, when non-nil, injects deterministic message faults (drops,
+	// corruption, delays, stragglers) into every exchange. Lost and
+	// corrupt messages are retransmitted with timeout plus exponential
+	// backoff, charged in virtual time; a grouped CA exchange that
+	// exhausts MaxRetries degrades (grouped -> per-dat messages ->
+	// per-loop OP2 execution) instead of failing. Fault injection never
+	// touches the simulated data: results stay bit-identical to the
+	// fault-free run, only clocks, stats and fault counters differ.
+	Faults *faults.Plan
+	// MaxRetries bounds retransmissions per message. Zero selects the
+	// fault plan's maxretries clause when present, else 4; negative is
+	// rejected. Per-chain overrides come from the chain configuration
+	// file's maxretries option.
+	MaxRetries int
+	// RetryTimeout is the virtual-time delay before a lost or corrupt
+	// message is detected and retransmission scheduled. Zero defaults to
+	// 4x the machine latency.
+	RetryTimeout float64
+	// RetryBackoff is the base of the exponential retransmission backoff
+	// (attempt k waits RetryBackoff * 2^k beyond the timeout). Zero
+	// defaults to the machine latency.
+	RetryBackoff float64
 }
 
 // validity tracks how many halo shells of a dat currently hold owner-fresh
@@ -93,8 +118,18 @@ type Backend struct {
 
 	// plans is the execution-plan cache: memoised inspection results and
 	// exchange schedules, keyed by chain structure. See plancache.go.
-	plans                map[planKey]*planEntry
-	planHits, planMisses int64
+	plans             map[planKey]*planEntry
+	planHits          int64
+	planMisses        int64
+	planInvalidations int64
+
+	// Fault-recovery state: the per-message retransmission budget and the
+	// timeout/backoff charges, resolved from Config at construction, and
+	// the exchange sequence number keying deterministic fault decisions.
+	maxRetries   int
+	retryTimeout float64
+	retryBackoff float64
+	faultSeq     uint64
 }
 
 // recording buffers the loops of an open chain.
@@ -130,6 +165,15 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.Lazy && !cfg.CA {
 		return nil, fmt.Errorf("cluster: Lazy requires CA (lazy chains execute with Algorithm 2)")
 	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("cluster: MaxRetries %d < 0", cfg.MaxRetries)
+	}
+	if cfg.RetryTimeout < 0 || math.IsNaN(cfg.RetryTimeout) || math.IsInf(cfg.RetryTimeout, 0) {
+		return nil, fmt.Errorf("cluster: RetryTimeout %g must be a non-negative, finite time", cfg.RetryTimeout)
+	}
+	if cfg.RetryBackoff < 0 || math.IsNaN(cfg.RetryBackoff) || math.IsInf(cfg.RetryBackoff, 0) {
+		return nil, fmt.Errorf("cluster: RetryBackoff %g must be a non-negative, finite time", cfg.RetryBackoff)
+	}
 	if cfg.Depth == 0 {
 		cfg.Depth = 1
 	}
@@ -154,6 +198,25 @@ func New(cfg Config) (*Backend, error) {
 		clock:   make([]float64, cfg.NParts),
 		stats:   newStats(),
 		plans:   map[planKey]*planEntry{},
+	}
+	if err := b.net.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: machine %s: %v", cfg.Machine.Name, err)
+	}
+	b.maxRetries = cfg.MaxRetries
+	if b.maxRetries == 0 {
+		if cfg.Faults != nil && cfg.Faults.MaxRetries > 0 {
+			b.maxRetries = cfg.Faults.MaxRetries
+		} else {
+			b.maxRetries = 4
+		}
+	}
+	b.retryTimeout = cfg.RetryTimeout
+	if b.retryTimeout == 0 {
+		b.retryTimeout = 4 * cfg.Machine.Latency
+	}
+	b.retryBackoff = cfg.RetryBackoff
+	if b.retryBackoff == 0 {
+		b.retryBackoff = cfg.Machine.Latency
 	}
 	for r := range b.dats {
 		b.dats[r] = make([][]float64, len(cfg.Prog.Dats))
@@ -333,6 +396,24 @@ func (b *Backend) GatherDat(d *core.Dat) []float64 {
 		}
 	}
 	return out
+}
+
+// ChecksumDats returns an FNV-1a hash over the gathered global values of
+// every declared dat, in declaration order. Two backends that executed the
+// same program produce the same checksum iff their final states are
+// bit-identical — the check behind the fault-injection invariant (faults
+// shape virtual time, never data).
+func (b *Backend) ChecksumDats() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, d := range b.cfg.Prog.Dats {
+		h.Write([]byte(d.Name))
+		for _, v := range b.GatherDat(d) {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // ScatterDat pushes fresh global values of d to every rank (owned and halo

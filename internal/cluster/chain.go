@@ -87,9 +87,17 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			name, len(loops), b.cfg.MaxChainLen))
 	}
 
+	// Snapshot the validity state before filterNeeds bumps it: the
+	// per-loop degradation rung re-executes the window through
+	// runStandard, whose exchanges must see the pre-chain dirty state.
+	var savedValid []validity
+	if b.cfg.Faults.Enabled() {
+		savedValid = append([]validity(nil), b.valid...)
+	}
 	specs := entry.specsFor(plan)
 	specs = b.filterNeeds(specs)
 	res := b.exchangeFor(entry, specs)
+	grouped := !b.cfg.NoGroupedMsgs
 	exchanging := len(res.msgs) > 0
 
 	n := len(loops)
@@ -99,14 +107,23 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	}
 	launch := m.LaunchOverhead()
 
-	coreEnds := make([][]int, b.cfg.NParts)
-	haloIters := make([][]int, b.cfg.NParts)
-	post := make([]float64, b.cfg.NParts)
+	// Phase split: derive every rank's iteration ranges and post times
+	// first, deliver (and possibly degrade) second, run the loops last.
+	// post depends only on the pre-chain clocks, so hoisting it ahead of
+	// loop execution changes nothing — and a window that degrades to
+	// per-loop execution must not have run its loops (Inc arguments would
+	// double-apply).
+	type nxRange struct{ lo, hi int }
+	nparts := b.cfg.NParts
+	coreEnds := make([][]int, nparts)
+	haloIters := make([][]int, nparts)
+	execEnds := make([][]int, nparts)
+	nxs := make([][]nxRange, nparts)
+	post := make([]float64, nparts)
 	b.forEachRank(func(r int) {
 		lay := b.layouts[r]
 		cores := make([]int, n)
 		halos := make([]int, n)
-		type nxRange struct{ lo, hi int }
 		execEnd := make([]int, n)
 		nx := make([]nxRange, n)
 		for i, l := range loops {
@@ -125,6 +142,72 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 				halos[i] += nx[i].hi - nx[i].lo
 			}
 		}
+		coreEnds[r], haloIters[r], execEnds[r], nxs[r] = cores, halos, execEnd, nx
+		post[r] = b.clock[r] + float64(res.sendBytes[r])/m.PackRate
+		if !b.cfg.GPUDirect {
+			post[r] += m.StageTime(res.sendBytes[r])
+		}
+	})
+
+	maxR := b.maxRetriesFor(cfgChain)
+	d := b.deliver(post, res.msgs, name, maxR)
+	if d.giveups > 0 {
+		// Degradation ladder: the CA exchange could not complete within
+		// its retransmission budget. The cached plan's schedules are what
+		// failed, so the entry is evicted either way; the next execution
+		// of this chain re-inspects and repopulates the cache.
+		b.invalidatePlan(entry)
+		restart := d.restartTime(b.retryTimeout)
+		recovered := false
+		if grouped {
+			// Rung 2: repeat the exchange with one message per dat and
+			// halo kind (CA without grouping), re-paying pack and staging
+			// from the failure-detection time.
+			cs.FallbackUngrouped++
+			b.stats.Faults.FallbackUngrouped++
+			res2 := b.doExchange(specs, false)
+			post2 := make([]float64, nparts)
+			for r := range post2 {
+				t := restart
+				if post[r] > t {
+					t = post[r]
+				}
+				t += float64(res2.sendBytes[r]) / m.PackRate
+				if !b.cfg.GPUDirect {
+					t += m.StageTime(res2.sendBytes[r])
+				}
+				post2[r] = t
+			}
+			d2 := b.deliver(post2, res2.msgs, name, maxR)
+			if d2.giveups == 0 {
+				res, post, d = res2, post2, d2
+				grouped = false
+				recovered = true
+			} else {
+				restart = d2.restartTime(b.retryTimeout)
+			}
+		}
+		if !recovered {
+			// Rung 3: re-execute the whole window as per-loop OP2 code
+			// from the failure-detection time, with the pre-chain
+			// validity restored so every loop re-exchanges its depth-1
+			// halos (per-loop giveups are terminal: see runStandard).
+			cs.FallbackPerLoop++
+			b.stats.Faults.FallbackPerLoop++
+			for r := range b.clock {
+				if restart > b.clock[r] {
+					b.clock[r] = restart
+				}
+			}
+			copy(b.valid, savedValid)
+			fallback()
+			return
+		}
+	}
+	arrivals := d.arrivals
+
+	b.forEachRank(func(r int) {
+		cores, execEnd, nx := coreEnds[r], execEnds[r], nxs[r]
 		if exchanging {
 			// Phase 1 (Algorithm 2 lines 8-12): core regions of every
 			// loop, in chain order, while the grouped message is in
@@ -145,15 +228,8 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 				b.runLoopOnRank(r, l, nx[i].lo, nx[i].hi, nil)
 			}
 		}
-		coreEnds[r], haloIters[r] = cores, halos
-		post[r] = b.clock[r] + float64(res.sendBytes[r])/m.PackRate
-		if !b.cfg.GPUDirect {
-			post[r] += m.StageTime(res.sendBytes[r])
-		}
 	})
 	gpuDirect := b.cfg.GPUDirect && m.GPU != nil
-
-	arrivals := b.net.Deliver(post, res.msgs)
 	recvLast := make([]float64, b.cfg.NParts)
 	for i, msg := range res.msgs {
 		if arrivals[i] > recvLast[msg.To] {
@@ -180,7 +256,7 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			if traced && exchanging {
 				b.emitWaitSpans(name, r, post[r], inbound[r], res.msgs, arrivals)
 			}
-			if !b.cfg.NoGroupedMsgs {
+			if grouped {
 				if traced && res.recvBytes[r] > 0 {
 					b.tracer.Emit(int32(r), obs.TrackExec, obs.Unpack, name,
 						t, t+float64(res.recvBytes[r])/m.PackRate, res.recvBytes[r])
@@ -222,13 +298,13 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 				if m.GPU != nil {
 					stageEnd = m.GPU.TraceStage(b.tracer, int32(r), name+" h2d", recvLast[r], res.recvBytes[r])
 				}
-				if !b.cfg.NoGroupedMsgs && res.recvBytes[r] > 0 {
+				if grouped && res.recvBytes[r] > 0 {
 					b.tracer.Emit(int32(r), obs.TrackExec, obs.Unpack, name,
 						stageEnd, stageEnd+float64(res.recvBytes[r])/m.PackRate, res.recvBytes[r])
 				}
 			}
 			ready := recvLast[r] + m.StageTime(res.recvBytes[r])
-			if !b.cfg.NoGroupedMsgs {
+			if grouped {
 				// Unpacking the grouped message into the per-dat arrays
 				// is the c term of Equation (3); per-dat messages land
 				// directly and pay nothing here.
@@ -317,7 +393,7 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	// per-loop max core/halo iterations across ranks, the grouped message
 	// size m^r, and the unpack cost c (zero when grouping is disabled).
 	var unpack float64
-	if !b.cfg.NoGroupedMsgs {
+	if grouped {
 		unpack = float64(execMaxMsg) / m.PackRate
 	}
 	cs.Predicted += model.TCAChain(model.ChainParams{

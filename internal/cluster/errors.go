@@ -1,0 +1,81 @@
+package cluster
+
+import "fmt"
+
+// ExchangeErrorKind classifies halo-exchange integrity violations.
+type ExchangeErrorKind int
+
+const (
+	// ErrTruncated: a grouped message carried fewer values than the
+	// receiver's import layout requires.
+	ErrTruncated ExchangeErrorKind = iota
+	// ErrTrailing: a grouped message carried values beyond the receiver's
+	// import layout — sender and receiver disagree about the halo.
+	ErrTrailing
+	// ErrMissing: an expected neighbour never sent its grouped message.
+	ErrMissing
+	// ErrSizeMismatch: a per-dat message's payload does not match the
+	// import range it addresses.
+	ErrSizeMismatch
+	// ErrUnexpected: a per-dat message arrived from a rank the receiver
+	// does not import that dat from.
+	ErrUnexpected
+)
+
+func (k ExchangeErrorKind) String() string {
+	switch k {
+	case ErrTruncated:
+		return "truncated"
+	case ErrTrailing:
+		return "trailing"
+	case ErrMissing:
+		return "missing"
+	case ErrSizeMismatch:
+		return "size mismatch"
+	case ErrUnexpected:
+		return "unexpected"
+	}
+	return "unknown"
+}
+
+// ExchangeError describes one halo-exchange integrity violation: which
+// receiving rank detected it, which sender the message came from, which dat
+// it addressed (empty for grouped messages spanning all dats), and the
+// expected versus observed value counts where applicable. Exchange-layer
+// invariants hold by construction, so a violation is a runtime bug; the
+// unpack paths panic with a typed *ExchangeError that callers and tests can
+// inspect field by field instead of substring-matching a message.
+type ExchangeError struct {
+	Kind ExchangeErrorKind
+	// Rank is the receiving rank that detected the violation; From is the
+	// sending rank of the offending (or missing) message.
+	Rank int
+	From int32
+	// Dat names the addressed dat; empty for grouped messages.
+	Dat string
+	// Want and Got are the expected and observed value counts for
+	// truncation/size violations (zero otherwise).
+	Want, Got int
+}
+
+// Error renders the violation; the kind keywords match the historical
+// string panics so existing log scrapes keep working.
+func (e *ExchangeError) Error() string {
+	switch e.Kind {
+	case ErrTruncated:
+		return fmt.Sprintf("cluster: rank %d: grouped message from rank %d truncated (%d of %d values)",
+			e.Rank, e.From, e.Got, e.Want)
+	case ErrTrailing:
+		return fmt.Sprintf("cluster: rank %d: grouped message from rank %d has %d trailing values",
+			e.Rank, e.From, e.Got)
+	case ErrMissing:
+		return fmt.Sprintf("cluster: rank %d: missing grouped message from rank %d", e.Rank, e.From)
+	case ErrSizeMismatch:
+		return fmt.Sprintf("cluster: rank %d: message for dat %s from rank %d has %d values, want %d",
+			e.Rank, e.Dat, e.From, e.Got, e.Want)
+	case ErrUnexpected:
+		return fmt.Sprintf("cluster: rank %d: unexpected message for dat %s from rank %d",
+			e.Rank, e.Dat, e.From)
+	}
+	return fmt.Sprintf("cluster: rank %d: exchange error from rank %d", e.Rank, e.From)
+}

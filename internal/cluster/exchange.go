@@ -1,8 +1,6 @@
 package cluster
 
 import (
-	"fmt"
-
 	"op2ca/internal/core"
 	"op2ca/internal/halo"
 	"op2ca/internal/netsim"
@@ -131,13 +129,13 @@ func (b *Backend) unpackSingle(r int, buf *sendBuf) {
 		}
 		want := int(rg.Count) * d.Dim
 		if len(buf.vals) != want {
-			panic(fmt.Sprintf("cluster: rank %d: message for dat %s from rank %d has %d values, want %d",
-				r, d.Name, buf.from, len(buf.vals), want))
+			panic(&ExchangeError{Kind: ErrSizeMismatch, Rank: r, From: buf.from,
+				Dat: d.Name, Want: want, Got: len(buf.vals)})
 		}
 		copy(b.dats[r][d.ID][int(rg.Start)*d.Dim:], buf.vals)
 		return
 	}
-	panic(fmt.Sprintf("cluster: rank %d: unexpected message for dat %s from rank %d", r, d.Name, buf.from))
+	panic(&ExchangeError{Kind: ErrUnexpected, Rank: r, From: buf.from, Dat: d.Name})
 }
 
 // unpackGrouped applies grouped messages into rank r's halo, walking the
@@ -151,12 +149,12 @@ func (b *Backend) unpackGrouped(r int, specs []exchangeSpec, inbound []*sendBuf)
 	take := func(src int32, n int) []float64 {
 		buf := bySrc[src]
 		if buf == nil {
-			panic(fmt.Sprintf("cluster: rank %d: missing grouped message from rank %d", r, src))
+			panic(&ExchangeError{Kind: ErrMissing, Rank: r, From: src})
 		}
 		at := cursor[src]
 		if at+n > len(buf.vals) {
-			panic(fmt.Sprintf("cluster: rank %d: grouped message from rank %d truncated (%d of %d values)",
-				r, src, len(buf.vals)-at, n))
+			panic(&ExchangeError{Kind: ErrTruncated, Rank: r, From: src,
+				Want: n, Got: len(buf.vals) - at})
 		}
 		cursor[src] = at + n
 		return buf.vals[at : at+n]
@@ -177,8 +175,8 @@ func (b *Backend) unpackGrouped(r int, specs []exchangeSpec, inbound []*sendBuf)
 	}
 	for src, buf := range bySrc {
 		if cursor[src] != len(buf.vals) {
-			panic(fmt.Sprintf("cluster: rank %d: grouped message from rank %d has %d trailing values",
-				r, src, len(buf.vals)-cursor[src]))
+			panic(&ExchangeError{Kind: ErrTrailing, Rank: r, From: src,
+				Got: len(buf.vals) - cursor[src]})
 		}
 	}
 }

@@ -29,23 +29,36 @@ func failureFixture(t *testing.T) (*Backend, []exchangeSpec) {
 	return b, specs
 }
 
-func expectPanicContaining(t *testing.T, substr string, f func()) {
+// expectExchangeError runs f expecting a panic carrying a typed
+// *ExchangeError of the given kind, and hands the error to check for
+// field-level assertions.
+func expectExchangeError(t *testing.T, kind ExchangeErrorKind, f func(), check func(*ExchangeError)) {
 	t.Helper()
 	defer func() {
 		r := recover()
 		if r == nil {
-			t.Fatalf("expected panic containing %q", substr)
+			t.Fatalf("expected panic with *ExchangeError kind %v", kind)
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
-			t.Fatalf("panic %v does not contain %q", r, substr)
+		e, ok := r.(*ExchangeError)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not a *ExchangeError", r, r)
+		}
+		if e.Kind != kind {
+			t.Fatalf("ExchangeError kind = %v, want %v (error: %v)", e.Kind, kind, e)
+		}
+		if e.Error() == "" || !strings.HasPrefix(e.Error(), "cluster:") {
+			t.Errorf("ExchangeError message %q should carry the cluster: prefix", e.Error())
+		}
+		if check != nil {
+			check(e)
 		}
 	}()
 	f()
 }
 
-// TestTruncatedGroupedMessagePanics: a grouped message shorter than the
+// TestTruncatedGroupedMessage: a grouped message shorter than the
 // importer's layout implies must be detected, not silently mis-unpacked.
-func TestTruncatedGroupedMessagePanics(t *testing.T) {
+func TestTruncatedGroupedMessage(t *testing.T) {
 	b, specs := failureFixture(t)
 	res := b.doExchange(specs, true)
 	if len(res.bufs) == 0 {
@@ -54,37 +67,52 @@ func TestTruncatedGroupedMessagePanics(t *testing.T) {
 	buf := res.bufs[0]
 	truncated := &sendBuf{from: buf.from, to: buf.to, datID: -1,
 		vals: buf.vals[:len(buf.vals)-1]}
-	expectPanicContaining(t, "truncated", func() {
+	expectExchangeError(t, ErrTruncated, func() {
 		b.unpackGrouped(int(truncated.to), specs, []*sendBuf{truncated})
+	}, func(e *ExchangeError) {
+		if e.Rank != int(buf.to) || e.From != buf.from {
+			t.Errorf("rank pair = (%d <- %d), want (%d <- %d)", e.Rank, e.From, buf.to, buf.from)
+		}
+		if e.Got >= e.Want {
+			t.Errorf("truncation got %d >= want %d", e.Got, e.Want)
+		}
 	})
 }
 
-// TestOversizedGroupedMessagePanics: trailing bytes mean sender and
-// receiver disagree about the halo layout.
-func TestOversizedGroupedMessagePanics(t *testing.T) {
+// TestOversizedGroupedMessage: trailing bytes mean sender and receiver
+// disagree about the halo layout.
+func TestOversizedGroupedMessage(t *testing.T) {
 	b, specs := failureFixture(t)
 	res := b.doExchange(specs, true)
 	buf := res.bufs[0]
 	oversized := &sendBuf{from: buf.from, to: buf.to, datID: -1,
 		vals: append(append([]float64(nil), buf.vals...), 1.0)}
-	expectPanicContaining(t, "trailing", func() {
+	expectExchangeError(t, ErrTrailing, func() {
 		b.unpackGrouped(int(oversized.to), specs, []*sendBuf{oversized})
+	}, func(e *ExchangeError) {
+		if e.Got != 1 {
+			t.Errorf("trailing values = %d, want 1", e.Got)
+		}
 	})
 }
 
-// TestMissingGroupedMessagePanics: an expected neighbour that never sends.
-func TestMissingGroupedMessagePanics(t *testing.T) {
+// TestMissingGroupedMessage: an expected neighbour that never sends.
+func TestMissingGroupedMessage(t *testing.T) {
 	b, specs := failureFixture(t)
 	res := b.doExchange(specs, true)
 	to := int(res.bufs[0].to)
-	expectPanicContaining(t, "missing grouped message", func() {
+	expectExchangeError(t, ErrMissing, func() {
 		b.unpackGrouped(to, specs, nil)
+	}, func(e *ExchangeError) {
+		if e.Rank != to {
+			t.Errorf("detecting rank = %d, want %d", e.Rank, to)
+		}
 	})
 }
 
-// TestWrongSizeSingleMessagePanics: a per-dat message whose payload does
-// not match the import range.
-func TestWrongSizeSingleMessagePanics(t *testing.T) {
+// TestWrongSizeSingleMessage: a per-dat message whose payload does not
+// match the import range.
+func TestWrongSizeSingleMessage(t *testing.T) {
 	b, specs := failureFixture(t)
 	res := b.doExchange(specs, false)
 	if len(res.bufs) == 0 {
@@ -102,21 +130,32 @@ func TestWrongSizeSingleMessagePanics(t *testing.T) {
 	}
 	bad := &sendBuf{from: target.from, to: target.to, datID: target.datID,
 		kind: target.kind, depth: target.depth, vals: target.vals[:len(target.vals)-1]}
-	expectPanicContaining(t, "values, want", func() {
+	expectExchangeError(t, ErrSizeMismatch, func() {
 		b.unpackSingle(int(bad.to), bad)
+	}, func(e *ExchangeError) {
+		if e.Dat != "x" {
+			t.Errorf("dat = %q, want x", e.Dat)
+		}
+		if e.Got != e.Want-1 {
+			t.Errorf("got %d values, want field says %d", e.Got, e.Want)
+		}
 	})
 }
 
-// TestForeignSingleMessagePanics: a message from a rank the receiver does
-// not import from.
-func TestForeignSingleMessagePanics(t *testing.T) {
+// TestForeignSingleMessage: a message from a rank the receiver does not
+// import from.
+func TestForeignSingleMessage(t *testing.T) {
 	b, specs := failureFixture(t)
 	res := b.doExchange(specs, false)
 	buf := res.bufs[0]
 	foreign := &sendBuf{from: buf.to, to: buf.to, datID: buf.datID,
 		kind: buf.kind, depth: buf.depth, vals: buf.vals}
-	expectPanicContaining(t, "unexpected message", func() {
+	expectExchangeError(t, ErrUnexpected, func() {
 		b.unpackSingle(int(foreign.to), foreign)
+	}, func(e *ExchangeError) {
+		if e.From != buf.to {
+			t.Errorf("offending sender = %d, want %d", e.From, buf.to)
+		}
 	})
 }
 
@@ -144,9 +183,16 @@ func TestBeyondHaloDereferencePanics(t *testing.T) {
 		if sl.NNonexec(1) == 0 {
 			continue
 		}
-		expectPanicContaining(t, "beyond halo depth", func() {
-			b.runLoopOnRank(r, l, int(sl.NonexecStart[0]), int(sl.NonexecStart[1]), nil)
-		})
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				t.Fatal("expected panic for beyond-halo dereference")
+			}
+			if msg, ok := rec.(string); !ok || !strings.Contains(msg, "beyond halo depth") {
+				t.Fatalf("panic %v does not mention beyond halo depth", rec)
+			}
+		}()
+		b.runLoopOnRank(r, l, int(sl.NonexecStart[0]), int(sl.NonexecStart[1]), nil)
 		return
 	}
 	t.Skip("no rank with non-execute edges in this partition")

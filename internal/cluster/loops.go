@@ -49,7 +49,16 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 		}
 	})
 
-	arrivals := b.net.Deliver(post, res.msgs)
+	traceKey := l.Kernel.Name
+	if chainName != "" {
+		traceKey = chainName + "/" + l.Kernel.Name
+	}
+	// Per-loop exchanges are the bottom rung of the degradation ladder:
+	// messages that exhaust the retransmission budget are treated as
+	// delivered by a reliable transport at the final attempt's arrival
+	// (counted as giveups), and execution proceeds.
+	d := b.deliver(post, res.msgs, traceKey, b.maxRetries)
+	arrivals := d.arrivals
 	recvLast := make([]float64, b.cfg.NParts)
 	for i, msg := range res.msgs {
 		if arrivals[i] > recvLast[msg.To] {
@@ -58,10 +67,6 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 	}
 	gpuDirect := b.cfg.GPUDirect && m.GPU != nil
 
-	traceKey := l.Kernel.Name
-	if chainName != "" {
-		traceKey = chainName + "/" + l.Kernel.Name
-	}
 	traced := b.tracer.Enabled()
 	var inbound [][]int
 	if traced {

@@ -36,6 +36,7 @@ type planKey struct {
 
 // planEntry is one cached inspection result and its exchange schedules.
 type planEntry struct {
+	key  planKey
 	plan ca.Plan
 	err  error
 	// specs is plan.Required as exchange specs, precomputed once.
@@ -57,7 +58,7 @@ func (b *Backend) planEntry(name string, loops []core.Loop, overrides []int) *pl
 		return e
 	}
 	b.planMisses++
-	e := &planEntry{schedules: map[string]*exchangeSchedule{}}
+	e := &planEntry{key: key, schedules: map[string]*exchangeSchedule{}}
 	e.plan, e.err = ca.Inspect(name, loops, overrides)
 	if e.err == nil {
 		e.specs = make([]exchangeSpec, 0, len(e.plan.Required))
@@ -69,8 +70,25 @@ func (b *Backend) planEntry(name string, loops []core.Loop, overrides []int) *pl
 	return e
 }
 
-// PlanCacheStats reports the execution-plan cache's hit and miss counts.
-func (b *Backend) PlanCacheStats() (hits, misses int64) { return b.planHits, b.planMisses }
+// PlanCacheStats reports the execution-plan cache's hit, miss and
+// invalidation counts. Invalidations happen when a chain degrades under
+// fault injection: the cached schedules are what failed, so the entry is
+// evicted and the next execution of the chain re-inspects and repopulates.
+func (b *Backend) PlanCacheStats() (hits, misses, invalidations int64) {
+	return b.planHits, b.planMisses, b.planInvalidations
+}
+
+// invalidatePlan evicts one cached plan (no-op for a nil entry or an entry
+// already evicted, so repeated degradations of one window count once).
+func (b *Backend) invalidatePlan(e *planEntry) {
+	if e == nil {
+		return
+	}
+	if _, ok := b.plans[e.key]; ok {
+		delete(b.plans, e.key)
+		b.planInvalidations++
+	}
+}
 
 // specsFor returns the plan's required exchanges as specs: the entry's
 // precomputed slice when cached, a fresh derivation otherwise (nil entry).

@@ -107,10 +107,10 @@ func TestPlanCacheEquivalence(t *testing.T) {
 			cached, cb := run(false)
 			uncached, ub := run(true)
 
-			if hits, _ := cb.PlanCacheStats(); hits == 0 {
+			if hits, _, _ := cb.PlanCacheStats(); hits == 0 {
 				t.Error("cached backend recorded no plan-cache hits over repeated executions")
 			}
-			if hits, misses := ub.PlanCacheStats(); hits != 0 || misses != 0 {
+			if hits, misses, _ := ub.PlanCacheStats(); hits != 0 || misses != 0 {
 				t.Errorf("NoPlanCache backend touched the cache: hits=%d misses=%d", hits, misses)
 			}
 			for i := range cached.clocks {
@@ -144,7 +144,7 @@ func TestPlanCacheReusesPlans(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.run(b, 5, true)
-	hits, misses := b.PlanCacheStats()
+	hits, misses, _ := b.PlanCacheStats()
 	if misses != 1 {
 		t.Errorf("5 executions of one chain: misses = %d, want 1", misses)
 	}

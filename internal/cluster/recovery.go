@@ -1,0 +1,117 @@
+package cluster
+
+// recovery.go is the fault-tolerant delivery layer between the deterministic
+// fault plan (package faults) and the virtual network (package netsim). All
+// simulated transfers move data reliably — pack and unpack copy values
+// unconditionally — so injected faults shape only the virtual clocks, the
+// fault counters and the trace: a faulted run's results are bit-identical to
+// the fault-free run by construction, exactly as a real fault-tolerant
+// transport hides losses from the application.
+//
+// A lost or corrupt attempt is detected one RetryTimeout after its
+// (non-)arrival and retransmitted after an exponential backoff
+// (RetryBackoff * 2^attempt); every retransmission occupies the sender's NIC
+// for another L + m/B. A message that exhausts its budget of MaxRetries
+// retransmissions is a giveup: per-loop exchanges treat it as delivered by a
+// reliable transport at the final attempt's arrival, while CA chains degrade
+// the whole window (see runChainImpl's degradation ladder).
+
+import (
+	"op2ca/internal/chaincfg"
+	"op2ca/internal/faults"
+	"op2ca/internal/netsim"
+	"op2ca/internal/obs"
+)
+
+// delivery is the outcome of one exchange's message delivery.
+type delivery struct {
+	// arrivals parallels the exchange's messages: the arrival time of the
+	// first usable copy, or of the final failed attempt for given-up
+	// messages.
+	arrivals []float64
+	// giveups counts messages that exhausted the retransmission budget.
+	giveups int
+	// failAt is the latest final-attempt arrival among given-up messages.
+	failAt float64
+}
+
+// restartTime is the virtual time the runtime learns the exchange cannot
+// complete: one detection timeout after the last given-up attempt's arrival.
+func (d delivery) restartTime(timeout float64) float64 { return d.failAt + timeout }
+
+// deliver computes message arrival times under the configured fault plan,
+// charging retransmissions, backoff and straggler slowdowns in virtual time
+// and counting every event into the run's FaultStats. With no plan (or a
+// plan that injects nothing) it reduces to netsim.Deliver — the arithmetic
+// of the clean path is identical operation for operation, so enabling fault
+// injection with zero probabilities does not perturb a single clock bit.
+// owner labels the retry/giveup trace spans (the chain or kernel name).
+func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, maxRetries int) delivery {
+	seq := b.faultSeq
+	b.faultSeq++
+	plan := b.cfg.Faults
+	if !plan.Enabled() {
+		return delivery{arrivals: b.net.Deliver(post, msgs)}
+	}
+	fs := &b.stats.Faults
+	traced := b.tracer.Enabled()
+	d := delivery{arrivals: make([]float64, len(msgs))}
+	busy := make(map[int32]float64, len(post))
+	for i, m := range msgs {
+		start, ok := busy[m.From]
+		if !ok {
+			start = post[m.From]
+		}
+		base := b.net.MessageTime(m.Bytes)
+		for try := 0; ; try++ {
+			v := plan.Judge(faults.Attempt{Exchange: seq, Msg: i, Try: try, From: m.From, To: m.To})
+			arr := start + base*v.Slow*v.Delay
+			busy[m.From] = arr
+			if v.Delay > 1 {
+				fs.Delays++
+			}
+			if !v.Failed() {
+				d.arrivals[i] = arr
+				break
+			}
+			if v.Drop {
+				fs.Drops++
+			} else {
+				fs.Corrupts++
+			}
+			if try >= maxRetries {
+				fs.Giveups++
+				d.giveups++
+				d.arrivals[i] = arr
+				if arr > d.failAt {
+					d.failAt = arr
+				}
+				if traced {
+					b.tracer.Emit(m.From, obs.TrackExec, obs.Giveup, owner,
+						arr, arr+b.retryTimeout, m.Bytes)
+				}
+				break
+			}
+			fs.Retries++
+			// Detection one timeout after the failed attempt, then the
+			// exponential backoff; the NIC sits idle until the retransmit.
+			next := arr + b.retryTimeout + b.retryBackoff*float64(int64(1)<<uint(try))
+			if traced {
+				b.tracer.Emit(m.From, obs.TrackExec, obs.Retry, owner, arr, next, m.Bytes)
+			}
+			busy[m.From] = next
+			start = next
+		}
+	}
+	return d
+}
+
+// maxRetriesFor resolves the per-message retransmission budget for one
+// chain: the chain configuration's maxretries override when present, else
+// the backend-wide budget.
+func (b *Backend) maxRetriesFor(c *chaincfg.Chain) int {
+	if c != nil && c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return b.maxRetries
+}

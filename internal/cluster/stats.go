@@ -73,12 +73,48 @@ type ChainStats struct {
 	// prediction (or the Equation (2) sum of per-loop predictions when the
 	// chain fell back to per-loop execution).
 	Predicted float64
+	// FallbackUngrouped and FallbackPerLoop count degradations under fault
+	// injection: grouped exchanges that exhausted their retransmission
+	// budget and retried with per-dat messages, and chain windows that
+	// degraded all the way to per-loop OP2 execution.
+	FallbackUngrouped int
+	FallbackPerLoop   int
+}
+
+// FaultStats aggregates fault-injection and recovery events across a run.
+// All zeros on a fault-free run.
+type FaultStats struct {
+	// Drops, Corrupts and Delays count injected fault events per
+	// transmission attempt.
+	Drops    int64
+	Corrupts int64
+	Delays   int64
+	// Retries counts retransmissions; Giveups counts messages that
+	// exhausted their retransmission budget.
+	Retries int64
+	Giveups int64
+	// FallbackUngrouped and FallbackPerLoop total the chain degradations
+	// (see ChainStats).
+	FallbackUngrouped int64
+	FallbackPerLoop   int64
+}
+
+// Add accumulates o's counters into s, for aggregation across backends.
+func (s *FaultStats) Add(o FaultStats) {
+	s.Drops += o.Drops
+	s.Corrupts += o.Corrupts
+	s.Delays += o.Delays
+	s.Retries += o.Retries
+	s.Giveups += o.Giveups
+	s.FallbackUngrouped += o.FallbackUngrouped
+	s.FallbackPerLoop += o.FallbackPerLoop
 }
 
 // Stats collects instrumentation for one Backend.
 type Stats struct {
 	Loops  map[string]*LoopStats
 	Chains map[string]*ChainStats
+	Faults FaultStats
 }
 
 func newStats() *Stats {
@@ -139,6 +175,10 @@ func (s *Stats) String() string {
 			c.Name, c.Executions, c.CAExecutions, c.Msgs, c.Bytes, c.DatsExchanged, c.MaxNeighbours,
 			c.MaxMsgBytes, c.MaxRankBytes, c.CoreIters, c.HaloIters, c.Time, c.HE)
 	}
+	if f := s.Faults; f != (FaultStats{}) {
+		fmt.Fprintf(&b, "faults drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n",
+			f.Drops, f.Corrupts, f.Delays, f.Retries, f.Giveups, f.FallbackUngrouped, f.FallbackPerLoop)
+	}
 	return b.String()
 }
 
@@ -198,4 +238,19 @@ func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
 		mw.Sample("op2ca_chain_seconds_total", lb, c.Time)
 		mw.Sample("op2ca_chain_model_seconds_total", lb, c.Predicted)
 	}
+	mw.Declare("op2ca_fault_drops_total", "counter", "Injected message drops (per transmission attempt).")
+	mw.Declare("op2ca_fault_corrupts_total", "counter", "Injected message corruptions (per transmission attempt).")
+	mw.Declare("op2ca_fault_delays_total", "counter", "Injected message delays (per transmission attempt).")
+	mw.Declare("op2ca_fault_retries_total", "counter", "Message retransmissions charged in virtual time.")
+	mw.Declare("op2ca_fault_giveups_total", "counter", "Messages that exhausted their retransmission budget.")
+	mw.Declare("op2ca_fault_fallback_ungrouped_total", "counter", "Grouped CA exchanges degraded to per-dat messages.")
+	mw.Declare("op2ca_fault_fallback_perloop_total", "counter", "Chain windows degraded to per-loop OP2 execution.")
+	f := s.Faults
+	mw.Sample("op2ca_fault_drops_total", extra, float64(f.Drops))
+	mw.Sample("op2ca_fault_corrupts_total", extra, float64(f.Corrupts))
+	mw.Sample("op2ca_fault_delays_total", extra, float64(f.Delays))
+	mw.Sample("op2ca_fault_retries_total", extra, float64(f.Retries))
+	mw.Sample("op2ca_fault_giveups_total", extra, float64(f.Giveups))
+	mw.Sample("op2ca_fault_fallback_ungrouped_total", extra, float64(f.FallbackUngrouped))
+	mw.Sample("op2ca_fault_fallback_perloop_total", extra, float64(f.FallbackPerLoop))
 }

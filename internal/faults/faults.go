@@ -1,0 +1,262 @@
+// Package faults is the deterministic fault-injection layer of the virtual
+// network. A Plan, parsed from a compact spec string, decides per message
+// transmission attempt whether the attempt is dropped, corrupted, delayed,
+// or slowed by a straggling rank. Decisions are pure functions of the plan
+// seed and the attempt's identity (exchange sequence number, message index,
+// retry number), so a given plan produces the same fault schedule on every
+// run regardless of host-thread scheduling — faults are charged in virtual
+// time and simulations stay bit-reproducible.
+//
+// Spec grammar (comma-separated key=value clauses, all optional):
+//
+//	drop=0.01              — attempt is lost with probability 0.01
+//	corrupt=0.002          — attempt arrives truncated/garbled with probability 0.002
+//	delay=5x@0.01          — attempt takes 5x its transmission time with probability 0.01
+//	straggler=rank3:10x    — every attempt sent by rank 3 is 10x slower (repeatable)
+//	seed=42                — decision seed (default 1)
+//	maxretries=6           — per-message retransmission budget hint for the runtime
+//
+// Example: "drop=0.01,corrupt=0.002,delay=5x@0.01,straggler=rank3:10x,seed=42".
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Attempt identifies one transmission attempt of one message. Exchange is
+// the runtime's exchange sequence number, Msg the message's index within
+// that exchange, and Try the 0-based retransmission count.
+type Attempt struct {
+	Exchange uint64
+	Msg      int
+	Try      int
+	From, To int32
+}
+
+// Verdict is the plan's decision for one attempt. Delay and Slow are
+// multipliers (>= 1) on the attempt's transmission time; Drop and Corrupt
+// both mean the payload does not arrive usable and must be retransmitted.
+type Verdict struct {
+	Drop    bool
+	Corrupt bool
+	Delay   float64
+	Slow    float64
+}
+
+// Failed reports whether the attempt needs a retransmission.
+func (v Verdict) Failed() bool { return v.Drop || v.Corrupt }
+
+// Plan is a parsed, immutable fault schedule. The zero value (and a nil
+// plan) injects nothing.
+type Plan struct {
+	// Seed keys every decision; two plans differing only in seed produce
+	// independent fault schedules.
+	Seed uint64
+	// Drop and Corrupt are per-attempt loss/corruption probabilities.
+	Drop    float64
+	Corrupt float64
+	// DelayProb and DelayFactor: with probability DelayProb an attempt's
+	// transmission time is multiplied by DelayFactor.
+	DelayProb   float64
+	DelayFactor float64
+	// Stragglers maps rank -> slowdown factor applied to every attempt
+	// that rank sends.
+	Stragglers map[int32]float64
+	// MaxRetries, when positive, is the plan's suggested per-message
+	// retransmission budget; the runtime may override it.
+	MaxRetries int
+}
+
+// Enabled reports whether the plan can inject any fault at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.Drop > 0 || p.Corrupt > 0 || p.DelayProb > 0 || len(p.Stragglers) > 0
+}
+
+// Parse builds a Plan from a spec string. An empty spec yields a valid plan
+// that injects nothing.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{Seed: 1, DelayFactor: 1}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "drop":
+			if err := parseProb(val, &p.Drop); err != nil {
+				return nil, fmt.Errorf("faults: drop: %v", err)
+			}
+		case "corrupt":
+			if err := parseProb(val, &p.Corrupt); err != nil {
+				return nil, fmt.Errorf("faults: corrupt: %v", err)
+			}
+		case "delay":
+			// FACTORx@PROB, e.g. 5x@0.01.
+			fac, prob, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: delay %q is not FACTORx@PROB", val)
+			}
+			f, err := parseFactor(fac)
+			if err != nil {
+				return nil, fmt.Errorf("faults: delay: %v", err)
+			}
+			p.DelayFactor = f
+			if err := parseProb(prob, &p.DelayProb); err != nil {
+				return nil, fmt.Errorf("faults: delay: %v", err)
+			}
+		case "straggler":
+			// rankN:FACTORx, e.g. rank3:10x.
+			rankStr, fac, ok := strings.Cut(val, ":")
+			if !ok || !strings.HasPrefix(rankStr, "rank") {
+				return nil, fmt.Errorf("faults: straggler %q is not rankN:FACTORx", val)
+			}
+			rank, err := strconv.Atoi(strings.TrimPrefix(rankStr, "rank"))
+			if err != nil || rank < 0 {
+				return nil, fmt.Errorf("faults: straggler rank %q", rankStr)
+			}
+			f, err := parseFactor(fac)
+			if err != nil {
+				return nil, fmt.Errorf("faults: straggler: %v", err)
+			}
+			if p.Stragglers == nil {
+				p.Stragglers = map[int32]float64{}
+			}
+			p.Stragglers[int32(rank)] = f
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: seed %q: %v", val, err)
+			}
+			p.Seed = s
+		case "maxretries":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faults: maxretries %q must be a positive integer", val)
+			}
+			p.MaxRetries = n
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q", key)
+		}
+	}
+	return p, nil
+}
+
+// MustParse is Parse for known-good specs (tests, built-in defaults).
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseProb(s string, out *float64) error {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || v > 1 {
+		return fmt.Errorf("probability %q outside [0, 1]", s)
+	}
+	*out = v
+	return nil
+}
+
+func parseFactor(s string) (float64, error) {
+	if !strings.HasSuffix(s, "x") {
+		return 0, fmt.Errorf("factor %q missing x suffix", s)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("factor %q must be >= 1", s)
+	}
+	return v, nil
+}
+
+// String renders the plan back into spec form; the result round-trips
+// through Parse. Straggler clauses appear in rank order.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.Drop))
+	}
+	if p.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", p.Corrupt))
+	}
+	if p.DelayProb > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%gx@%g", p.DelayFactor, p.DelayProb))
+	}
+	ranks := make([]int32, 0, len(p.Stragglers))
+	for r := range p.Stragglers {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for _, r := range ranks {
+		parts = append(parts, fmt.Sprintf("straggler=rank%d:%gx", r, p.Stragglers[r]))
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.MaxRetries > 0 {
+		parts = append(parts, fmt.Sprintf("maxretries=%d", p.MaxRetries))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Judge decides the outcome of one transmission attempt. Pure: the verdict
+// depends only on the plan and the attempt identity. A nil plan returns the
+// clean verdict.
+func (p *Plan) Judge(a Attempt) Verdict {
+	v := Verdict{Delay: 1, Slow: 1}
+	if p == nil {
+		return v
+	}
+	if f, ok := p.Stragglers[a.From]; ok {
+		v.Slow = f
+	}
+	if p.Drop == 0 && p.Corrupt == 0 && p.DelayProb == 0 {
+		return v
+	}
+	// One independent uniform per decision stream, derived by hashing the
+	// attempt identity with a per-stream salt.
+	h := p.Seed
+	h = mix(h, a.Exchange)
+	h = mix(h, uint64(a.Msg)<<32|uint64(uint32(a.Try)))
+	h = mix(h, uint64(uint32(a.From))<<32|uint64(uint32(a.To)))
+	if p.Drop > 0 && uniform(mix(h, 0xd509)) < p.Drop {
+		v.Drop = true
+	}
+	if p.Corrupt > 0 && uniform(mix(h, 0xc0de)) < p.Corrupt {
+		v.Corrupt = true
+	}
+	if p.DelayProb > 0 && uniform(mix(h, 0xde1a)) < p.DelayProb {
+		v.Delay = p.DelayFactor
+	}
+	return v
+}
+
+// mix is one round of splitmix64 over state^value: a fast, well-distributed
+// 64-bit hash step.
+func mix(state, value uint64) uint64 {
+	z := state ^ value
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform maps a 64-bit hash to [0, 1) using the top 53 bits.
+func uniform(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

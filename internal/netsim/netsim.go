@@ -7,7 +7,10 @@
 // multipliers, and MAX-style overlap of core computation with communication.
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Message is one point-to-point halo message.
 type Message struct {
@@ -29,6 +32,26 @@ type Network struct {
 	EagerThreshold int64
 }
 
+// Validate rejects parameter combinations that would silently produce
+// meaningless times: a zero or negative Bandwidth yields Inf or negative
+// MessageTime, and negative Latency or EagerThreshold invert the cost
+// model. Callers constructing a Network from user-supplied machine
+// parameters should validate before first use; Deliver also checks, so a
+// bad network fails loudly at its first exchange instead of corrupting
+// every downstream clock.
+func (n *Network) Validate() error {
+	if n.Bandwidth <= 0 || math.IsNaN(n.Bandwidth) || math.IsInf(n.Bandwidth, 0) {
+		return fmt.Errorf("netsim: Bandwidth %g must be a positive, finite byte rate", n.Bandwidth)
+	}
+	if n.Latency < 0 || math.IsNaN(n.Latency) || math.IsInf(n.Latency, 0) {
+		return fmt.Errorf("netsim: Latency %g must be a non-negative, finite time", n.Latency)
+	}
+	if n.EagerThreshold < 0 {
+		return fmt.Errorf("netsim: EagerThreshold %d must be non-negative (0 disables)", n.EagerThreshold)
+	}
+	return nil
+}
+
 // MessageTime returns the network occupancy of one message: L + bytes/B,
 // plus the rendezvous handshake for messages above the eager threshold.
 func (n *Network) MessageTime(bytes int64) float64 {
@@ -43,6 +66,9 @@ func (n *Network) MessageTime(bytes int64) float64 {
 // time rank r posts its sends; messages from the same sender serialise on
 // its NIC in slice order. The returned slice parallels msgs.
 func (n *Network) Deliver(post []float64, msgs []Message) []float64 {
+	if err := n.Validate(); err != nil {
+		panic(err.Error())
+	}
 	arrival := make([]float64, len(msgs))
 	busy := make(map[int32]float64, len(post))
 	for i, m := range msgs {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -58,6 +59,60 @@ func TestWaitAll(t *testing.T) {
 	if !almost(done[0], 40) || !almost(done[1], 30) {
 		t.Errorf("done = %v, want [40 30]", done)
 	}
+}
+
+// TestValidate: zero/negative Bandwidth used to yield Inf/negative
+// MessageTime and negative Latency/EagerThreshold were silently accepted;
+// all four must now be rejected with a clear error.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		n    Network
+		want string
+	}{
+		{"zero bandwidth", Network{Latency: 1e-6}, "Bandwidth"},
+		{"negative bandwidth", Network{Latency: 1e-6, Bandwidth: -1}, "Bandwidth"},
+		{"inf bandwidth", Network{Latency: 1e-6, Bandwidth: math.Inf(1)}, "Bandwidth"},
+		{"nan bandwidth", Network{Latency: 1e-6, Bandwidth: math.NaN()}, "Bandwidth"},
+		{"negative latency", Network{Latency: -1e-6, Bandwidth: 1e9}, "Latency"},
+		{"nan latency", Network{Latency: math.NaN(), Bandwidth: 1e9}, "Latency"},
+		{"negative eager", Network{Latency: 1e-6, Bandwidth: 1e9, EagerThreshold: -1}, "EagerThreshold"},
+	}
+	for _, tc := range cases {
+		err := tc.n.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.n)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+	good := []Network{
+		{Latency: 0, Bandwidth: 1},
+		{Latency: 1e-6, Bandwidth: 1e9, EagerThreshold: 65536},
+	}
+	for _, n := range good {
+		if err := n.Validate(); err != nil {
+			t.Errorf("Validate rejected valid %+v: %v", n, err)
+		}
+	}
+}
+
+// TestDeliverRejectsInvalidNetwork: the first exchange through a
+// misconfigured network must fail loudly, not hand out Inf arrival times.
+func TestDeliverRejectsInvalidNetwork(t *testing.T) {
+	n := &Network{Latency: 1e-6, Bandwidth: 0}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Bandwidth") {
+			t.Fatalf("panic %v does not name Bandwidth", r)
+		}
+	}()
+	n.Deliver([]float64{0}, []Message{{From: 0, To: 0, Bytes: 8}})
 }
 
 func TestDeliverPanicsOnBadRank(t *testing.T) {

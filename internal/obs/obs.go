@@ -50,12 +50,21 @@ const (
 	// Stage is one host<->device PCIe staging transfer (GPU machines
 	// only; lives on TrackStage).
 	Stage
+	// Retry is one retransmission interval on the sender's track: from
+	// the failed attempt's (non-)arrival, through the detection timeout
+	// and exponential backoff, to the retransmission post (fault
+	// injection only).
+	Retry
+	// Giveup marks a message that exhausted its retransmission budget;
+	// the runtime degrades the surrounding exchange instead of dying.
+	Giveup
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage",
+	"retry", "giveup",
 }
 
 func (k Kind) String() string {
