@@ -47,7 +47,9 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
 		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions next to measured virtual times")
-		faultSpec   = flag.String("faults", "",
+		autoTune    = flag.Bool("autotune", false,
+			"let the model-driven autotuner pick each chain's execution policy (requires -backend ca); results stay bit-identical to any static configuration")
+		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.01,straggler=rank3:10x,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
 	)
 	flag.Parse()
@@ -111,10 +113,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *autoTune && *backendName != "ca" {
+			fmt.Fprintln(os.Stderr, "hydra: -autotune requires -backend ca; ignored")
+			*autoTune = false
+		}
 		cb, err = cluster.New(cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: *ranks,
 			Depth: depth, MaxChainLen: 6, CA: *backendName == "ca",
 			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: tracer, Faults: plan,
+			AutoTune: *autoTune,
 		})
 		if err != nil {
 			fatal(err)
@@ -140,6 +147,9 @@ func main() {
 		}
 		if *stats {
 			fmt.Print(cb.Stats().String())
+		}
+		if *autoTune && !*stats {
+			fmt.Print(cb.Stats().AutoTune.Report())
 		}
 		if *modelCheck {
 			fmt.Print(cb.ModelReport())

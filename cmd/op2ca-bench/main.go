@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"op2ca/internal/autotune"
 	"op2ca/internal/bench"
 	"op2ca/internal/cluster"
 	"op2ca/internal/faults"
@@ -49,6 +50,19 @@ type jsonFaults struct {
 	FallbackPerLoop   int64 `json:"fallback_perloop"`
 }
 
+// jsonAutoTuneRun is one measured run's autotuner record: the calibrated
+// machine/loop parameters and, per chain, the candidates scored, the chosen
+// policy, predicted and measured times and the re-plan count. Chains the
+// tuner refused to probe (policy invariance) appear under skipped. CI
+// asserts every decision's chosen policy is the predicted minimum and that
+// an -autotune run's checksums equal the static baseline's.
+type jsonAutoTuneRun struct {
+	Run         string               `json:"run"`
+	Calibration autotune.Calib       `json:"calibration"`
+	Decisions   []*autotune.Decision `json:"decisions"`
+	Skipped     map[string]string    `json:"skipped,omitempty"`
+}
+
 // jsonOutput is the -json document: the effective configuration and every
 // experiment's result, machine-readable for plotting or regression checks.
 // Checksums maps each measured run's label to an FNV-1a hash of its final
@@ -62,6 +76,7 @@ type jsonOutput struct {
 	FaultSpec string            `json:"fault_spec,omitempty"`
 	Faults    *jsonFaults       `json:"faults,omitempty"`
 	Checksums map[string]string `json:"checksums,omitempty"`
+	AutoTune  []jsonAutoTuneRun `json:"autotune,omitempty"`
 	Results   []jsonResult      `json:"results"`
 }
 
@@ -81,7 +96,9 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of every run (one pid per backend)")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics for every run to this file (\"-\" for stdout)")
 		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions vs measured time after each run")
-		faultSpec   = flag.String("faults", "",
+		autoTune    = flag.Bool("autotune", false,
+			"let the model-driven autotuner pick each chain's execution policy in the CA runs (results stay bit-identical; ablations keep their pinned configurations)")
+		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.05,seed=1 (see internal/faults); results stay bit-identical, virtual times include recovery")
 	)
 	flag.Parse()
@@ -118,6 +135,7 @@ func main() {
 		cfg.Tracer = obs.New()
 	}
 	cfg.Faults = plan
+	cfg.AutoTune = *autoTune
 
 	// The metrics file accumulates every run under a distinct run label;
 	// HELP/TYPE lines are deduplicated so the exposition stays valid.
@@ -141,10 +159,11 @@ func main() {
 	// checksums, so a faulted run can be diffed against a fault-free one.
 	var faultTotals cluster.FaultStats
 	var checksums map[string]string
+	var tuneRuns []jsonAutoTuneRun
 	if *jsonPath != "" {
 		checksums = map[string]string{}
 	}
-	if *modelCheck || mw != nil || checksums != nil || plan != nil {
+	if *modelCheck || mw != nil || checksums != nil || plan != nil || *autoTune {
 		cfg.Observe = func(label string, b *cluster.Backend) {
 			if *modelCheck {
 				fmt.Printf("-- %s --\n%s", label, b.ModelReport())
@@ -154,6 +173,16 @@ func main() {
 			}
 			if checksums != nil {
 				checksums[label] = b.ChecksumDats()
+			}
+			if at := b.Stats().AutoTune; at.Enabled && *jsonPath != "" {
+				rec := jsonAutoTuneRun{Run: label, Calibration: at.Calib}
+				for _, name := range at.Order {
+					rec.Decisions = append(rec.Decisions, at.Decisions[name])
+				}
+				if len(at.Skipped) > 0 {
+					rec.Skipped = at.Skipped
+				}
+				tuneRuns = append(tuneRuns, rec)
 			}
 			faultTotals.Add(b.Stats().Faults)
 		}
@@ -245,6 +274,7 @@ func main() {
 			FallbackPerLoop:   faultTotals.FallbackPerLoop,
 		}
 		jout.Checksums = checksums
+		jout.AutoTune = tuneRuns
 		data, err := json.MarshalIndent(&jout, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,291 @@
+// Calibration: fit the analytic model's free parameters from measured
+// probe executions. The machine's effective latency L and bandwidth B come
+// from an ordinary-least-squares fit of per-message exchange spans against
+// message size (Equation (1)'s L + m/B term); the pack rate comes from the
+// aggregate pack throughput; and each loop's per-iteration cost g_l is
+// solved from Equation (1) itself using the measured loop span and the
+// already-fitted network parameters. Wherever the samples cannot identify
+// a parameter (no exchanges observed, a single message size, a loop whose
+// span is entirely communication) the machine-model prior is kept, so a
+// fit never degrades below the static model.
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"op2ca/internal/model"
+)
+
+// Sample is one measured (bytes, seconds) observation.
+type Sample struct {
+	Bytes   float64
+	Seconds float64
+}
+
+// loopSample is one measured loop execution together with the Equation (1)
+// parameters that held during it (G is ignored; it is what we solve for).
+type loopSample struct {
+	p       model.LoopParams
+	seconds float64
+}
+
+// Calibrator accumulates probe measurements and fits a Calib from them.
+// It is not safe for concurrent use; the cluster back-end only feeds it
+// from the serial coordination path, never from per-rank goroutines.
+type Calibrator struct {
+	// ExtraLatency is added to the *fitted* latency only. On a staged GPU
+	// machine the model scores exchanges with the enlarged latency
+	// Λ = L + 2·PCIe, but the measured per-message spans cover the network
+	// leg alone (staging is charged to pack/unpack), so the fit recovers
+	// the network L and this correction restores Λ. Priors already hold Λ
+	// and need no correction.
+	ExtraLatency float64
+
+	exch  []Sample
+	pack  []Sample
+	loops map[string][]loopSample
+	order []string // loop names in first-seen order, for determinism
+}
+
+// NewCalibrator returns an empty calibrator.
+func NewCalibrator() *Calibrator {
+	return &Calibrator{loops: make(map[string][]loopSample)}
+}
+
+// AddExchange records one measured point-to-point message: its payload and
+// the span from NIC-ready to arrival.
+func (c *Calibrator) AddExchange(bytes int64, seconds float64) {
+	if bytes <= 0 || seconds <= 0 {
+		return
+	}
+	c.exch = append(c.exch, Sample{Bytes: float64(bytes), Seconds: seconds})
+}
+
+// AddPack records one measured pack (or unpack) of an export buffer.
+func (c *Calibrator) AddPack(bytes int64, seconds float64) {
+	if bytes <= 0 || seconds <= 0 {
+		return
+	}
+	c.pack = append(c.pack, Sample{Bytes: float64(bytes), Seconds: seconds})
+}
+
+// AddLoop records one measured execution of a loop: the Equation (1)
+// parameters that held (core iterations, halo iterations, dats exchanged,
+// neighbour count, largest message) and the measured wall span.
+func (c *Calibrator) AddLoop(name string, p model.LoopParams, seconds float64) {
+	if seconds <= 0 || p.CoreIters+p.HaloIters <= 0 {
+		return
+	}
+	if _, ok := c.loops[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.loops[name] = append(c.loops[name], loopSample{p: p, seconds: seconds})
+}
+
+// Samples reports how many exchange, pack and loop observations have been
+// accumulated.
+func (c *Calibrator) Samples() (exch, pack, loop int) {
+	for _, ls := range c.loops {
+		loop += len(ls)
+	}
+	return len(c.exch), len(c.pack), loop
+}
+
+// Calib holds one fitted (or prior) parameter set for the analytic model.
+type Calib struct {
+	// L, B are the effective per-message latency (s) and bandwidth (B/s).
+	L float64 `json:"latency_seconds"`
+	B float64 `json:"bandwidth_bytes_per_second"`
+	// PackRate converts grouped-message bytes into Equation (3)'s pack
+	// cost c = m/PackRate.
+	PackRate float64 `json:"pack_rate_bytes_per_second"`
+	// G maps loop kernel name to the fitted per-iteration cost g_l (s).
+	G map[string]float64 `json:"g_seconds"`
+
+	// NetMeasured and PackMeasured report whether the network and pack
+	// parameters come from regression or from the machine-model prior.
+	NetMeasured  bool `json:"net_measured"`
+	PackMeasured bool `json:"pack_measured"`
+	// Sample counts that backed the fit.
+	ExchangeSamples int `json:"exchange_samples"`
+	PackSamples     int `json:"pack_samples"`
+	LoopSamples     int `json:"loop_samples"`
+}
+
+// Net returns the model network for this calibration; packBytes is the
+// grouped payload the receiver must unpack (Equation (3)'s c term), zero
+// for ungrouped or OP2 execution.
+func (c Calib) Net(packBytes float64) model.Net {
+	n := model.Net{L: c.L, B: c.B}
+	if packBytes > 0 && c.PackRate > 0 {
+		n.C = packBytes / c.PackRate
+	}
+	return n
+}
+
+// GFor returns the calibrated per-iteration cost for a loop, or fallback
+// when the loop was never seen (neither probed nor in the prior).
+func (c Calib) GFor(name string, fallback float64) float64 {
+	if g, ok := c.G[name]; ok && g > 0 {
+		return g
+	}
+	return fallback
+}
+
+// String renders the calibration for run logs.
+func (c Calib) String() string {
+	src := "prior"
+	if c.NetMeasured {
+		src = fmt.Sprintf("fit of %d msgs", c.ExchangeSamples)
+	}
+	s := fmt.Sprintf("calib: L=%.3gs B=%.3gB/s (%s) pack=%.3gB/s", c.L, c.B, src, c.PackRate)
+	names := make([]string, 0, len(c.G))
+	for n := range c.G {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s += fmt.Sprintf(" g[%s]=%.3gs", n, c.G[n])
+	}
+	return s
+}
+
+// Fit solves for the machine parameters from the accumulated samples,
+// falling back to prior for anything the samples cannot identify. The
+// returned Calib's G map covers every loop in prior.G plus every probed
+// loop; probed values win.
+func (c *Calibrator) Fit(prior Calib) Calib {
+	out := prior
+	out.NetMeasured = false
+	out.PackMeasured = false
+	out.ExchangeSamples = len(c.exch)
+	out.PackSamples = len(c.pack)
+	_, _, out.LoopSamples = c.Samples()
+
+	if l, b, ok := fitLine(c.exch); ok {
+		out.L = l + c.ExtraLatency
+		out.B = b
+		out.NetMeasured = true
+	}
+	if r, ok := fitRate(c.pack); ok {
+		out.PackRate = r
+		out.PackMeasured = true
+	}
+
+	out.G = make(map[string]float64, len(prior.G)+len(c.order))
+	for k, v := range prior.G {
+		out.G[k] = v
+	}
+	for _, name := range c.order {
+		if g, ok := solveG(c.loops[name], model.Net{L: out.L, B: out.B}); ok {
+			out.G[name] = g
+		}
+	}
+	return out
+}
+
+// fitLine fits t = L + bytes/B by ordinary least squares. It refuses the
+// fit (ok=false) when fewer than two distinct message sizes were observed
+// or the fitted slope is non-positive, and clamps a slightly negative
+// intercept to zero (small-sample noise; a negative latency would fail
+// model validation).
+func fitLine(s []Sample) (l, b float64, ok bool) {
+	if len(s) < 2 {
+		return 0, 0, false
+	}
+	var mx, mt float64
+	for _, p := range s {
+		mx += p.Bytes
+		mt += p.Seconds
+	}
+	n := float64(len(s))
+	mx /= n
+	mt /= n
+	var sxx, sxt float64
+	for _, p := range s {
+		dx := p.Bytes - mx
+		sxx += dx * dx
+		sxt += dx * (p.Seconds - mt)
+	}
+	if sxx == 0 || sxt <= 0 {
+		return 0, 0, false
+	}
+	slope := sxt / sxx
+	l = mt - slope*mx
+	if l < 0 {
+		l = 0
+	}
+	b = 1 / slope
+	if !isFinitePos(b) {
+		return 0, 0, false
+	}
+	return l, b, true
+}
+
+// fitRate fits seconds = bytes/rate through the origin (aggregate
+// throughput), which is exact for a linear pack cost.
+func fitRate(s []Sample) (rate float64, ok bool) {
+	var bytes, secs float64
+	for _, p := range s {
+		bytes += p.Bytes
+		secs += p.Seconds
+	}
+	if secs <= 0 || bytes <= 0 {
+		return 0, false
+	}
+	rate = bytes / secs
+	if !isFinitePos(rate) {
+		return 0, false
+	}
+	return rate, true
+}
+
+// solveG inverts Equation (1) for g given a measured span T:
+//
+//	T = max(g·S^c, comm) + g·S^1, comm = 2·d·p·(L + m/B)
+//
+// T is monotone in g, so the solution is unique. Try the compute-bound
+// branch g = T/(S^c+S^1) first; if it is inconsistent (g·S^c < comm) the
+// loop was communication-bound and g = (T - comm)/S^1. Samples that
+// cannot identify g (pure-communication spans, no halo region to expose g
+// behind a comm-bound core) are skipped; the per-loop result is the mean
+// of the identifiable samples.
+func solveG(samples []loopSample, net model.Net) (float64, bool) {
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		comm := 2 * s.p.NDats * s.p.Neighbours * (net.L + s.p.MsgBytes/net.B)
+		total := s.p.CoreIters + s.p.HaloIters
+		if total <= 0 {
+			continue
+		}
+		g := s.seconds / total
+		if g*s.p.CoreIters+1e-15 >= comm {
+			sum += g
+			n++
+			continue
+		}
+		// Communication-bound: the core is hidden behind comm and only the
+		// post-wait halo region exposes g.
+		if s.p.HaloIters <= 0 {
+			continue
+		}
+		g = (s.seconds - comm) / s.p.HaloIters
+		if g <= 0 || g*s.p.CoreIters > comm+1e-15 {
+			continue // fitted net disagrees with this sample; not identifiable
+		}
+		sum += g
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	g := sum / float64(n)
+	return g, isFinitePos(g)
+}
+
+func isFinitePos(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+}

@@ -1,0 +1,211 @@
+package autotune
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"op2ca/internal/model"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Abs(want) {
+		t.Errorf("%s = %g, want %g", name, got, want)
+	}
+}
+
+// TestFitRecoversLine feeds noiseless t = L + m/B samples and expects the
+// OLS fit to recover L and B exactly (to rounding).
+func TestFitRecoversLine(t *testing.T) {
+	const L, B = 2e-6, 10e9
+	c := NewCalibrator()
+	for _, bytes := range []int64{100, 1000, 10000, 100000} {
+		c.AddExchange(bytes, L+float64(bytes)/B)
+	}
+	cal := c.Fit(Calib{L: 1, B: 1, PackRate: 1})
+	if !cal.NetMeasured {
+		t.Fatal("four distinct sizes must identify the network")
+	}
+	approx(t, "L", cal.L, L, 1e-9)
+	approx(t, "B", cal.B, B, 1e-9)
+	if cal.ExchangeSamples != 4 {
+		t.Errorf("ExchangeSamples = %d, want 4", cal.ExchangeSamples)
+	}
+}
+
+// TestFitDegenerateKeepsPrior covers every refusal path of fitLine: too few
+// samples, a single message size, and spans that shrink with size.
+func TestFitDegenerateKeepsPrior(t *testing.T) {
+	prior := Calib{L: 3e-6, B: 25e9, PackRate: 4e9}
+	cases := map[string]func(c *Calibrator){
+		"empty":       func(c *Calibrator) {},
+		"one sample":  func(c *Calibrator) { c.AddExchange(100, 1e-6) },
+		"single size": func(c *Calibrator) { c.AddExchange(100, 1e-6); c.AddExchange(100, 2e-6) },
+		"negative slope": func(c *Calibrator) {
+			c.AddExchange(100, 2e-6)
+			c.AddExchange(1000, 1e-6)
+		},
+	}
+	for name, fill := range cases {
+		c := NewCalibrator()
+		fill(c)
+		cal := c.Fit(prior)
+		if cal.NetMeasured {
+			t.Errorf("%s: fit should be refused", name)
+		}
+		if cal.L != prior.L || cal.B != prior.B {
+			t.Errorf("%s: prior not kept: L=%g B=%g", name, cal.L, cal.B)
+		}
+	}
+}
+
+// TestFitClampsNegativeIntercept: sample noise can pull the fitted
+// intercept below zero; a negative latency would fail model validation.
+func TestFitClampsNegativeIntercept(t *testing.T) {
+	c := NewCalibrator()
+	// Positive slope whose extension crosses below zero: intercept < 0.
+	c.AddExchange(1000, 0.5e-6)
+	c.AddExchange(2000, 1.6e-6)
+	cal := c.Fit(Calib{L: 1, B: 1, PackRate: 1})
+	if !cal.NetMeasured {
+		t.Fatal("two sizes with positive slope must fit")
+	}
+	if cal.L != 0 {
+		t.Errorf("negative intercept must clamp to 0, got %g", cal.L)
+	}
+}
+
+// TestFitPackRate: the through-origin throughput fit is exact for a linear
+// pack cost.
+func TestFitPackRate(t *testing.T) {
+	const rate = 4e9
+	c := NewCalibrator()
+	for _, bytes := range []int64{512, 4096, 65536} {
+		c.AddPack(bytes, float64(bytes)/rate)
+	}
+	cal := c.Fit(Calib{L: 1e-6, B: 1e9, PackRate: 1})
+	if !cal.PackMeasured {
+		t.Fatal("pack samples must identify the rate")
+	}
+	approx(t, "PackRate", cal.PackRate, rate, 1e-12)
+	// Non-positive observations are rejected at Add time.
+	c2 := NewCalibrator()
+	c2.AddPack(0, 1e-6)
+	c2.AddPack(100, 0)
+	if cal2 := c2.Fit(Calib{PackRate: 7}); cal2.PackMeasured || cal2.PackRate != 7 {
+		t.Error("degenerate pack samples must keep the prior")
+	}
+}
+
+// TestSolveGComputeBound: a loop whose span is pure compute must invert to
+// g = T/(S^c+S^1) on the compute-bound branch.
+func TestSolveGComputeBound(t *testing.T) {
+	const g = 5e-8
+	net := model.Net{L: 1e-6, B: 10e9}
+	p := model.LoopParams{CoreIters: 10000, HaloIters: 500, NDats: 1, Neighbours: 2, MsgBytes: 100}
+	comm := 2 * p.NDats * p.Neighbours * (net.L + p.MsgBytes/net.B)
+	span := g*p.CoreIters + g*p.HaloIters // compute-bound: g*S^c > comm
+	if g*p.CoreIters <= comm {
+		t.Fatal("test setup must be compute-bound")
+	}
+	c := NewCalibrator()
+	c.AddLoop("k", p, span)
+	got, ok := solveG(c.loops["k"], net)
+	if !ok {
+		t.Fatal("compute-bound sample must be identifiable")
+	}
+	approx(t, "g", got, g, 1e-12)
+}
+
+// TestSolveGCommBound: when comm hides the core, only the halo region
+// exposes g and the comm-bound branch must be taken.
+func TestSolveGCommBound(t *testing.T) {
+	const g = 1e-8
+	net := model.Net{L: 100e-6, B: 1e9}
+	p := model.LoopParams{CoreIters: 100, HaloIters: 400, NDats: 2, Neighbours: 4, MsgBytes: 10000}
+	comm := 2 * p.NDats * p.Neighbours * (net.L + p.MsgBytes/net.B)
+	if g*p.CoreIters >= comm {
+		t.Fatal("test setup must be comm-bound")
+	}
+	span := comm + g*p.HaloIters
+	c := NewCalibrator()
+	c.AddLoop("k", p, span)
+	got, ok := solveG(c.loops["k"], net)
+	if !ok {
+		t.Fatal("comm-bound sample with a halo region must be identifiable")
+	}
+	approx(t, "g", got, g, 1e-9)
+
+	// Without a halo region g hides entirely behind comm: a span strictly
+	// below comm cannot identify g and must be skipped.
+	p2 := p
+	p2.HaloIters = 0
+	c2 := NewCalibrator()
+	c2.AddLoop("k", p2, 0.9*comm)
+	if _, ok := solveG(c2.loops["k"], net); ok {
+		t.Error("pure-communication span must be skipped")
+	}
+}
+
+// TestFitSolvesLoopsAndKeepsPriorG: probed loops override the prior's g,
+// unprobed prior entries survive.
+func TestFitSolvesLoopsAndKeepsPriorG(t *testing.T) {
+	const g = 2e-8
+	c := NewCalibrator()
+	for _, bytes := range []int64{100, 1000} {
+		c.AddExchange(bytes, 1e-6+float64(bytes)/10e9)
+	}
+	p := model.LoopParams{CoreIters: 50000, HaloIters: 1000, NDats: 1, Neighbours: 1, MsgBytes: 64}
+	c.AddLoop("probed", p, g*(p.CoreIters+p.HaloIters))
+	cal := c.Fit(Calib{L: 1e-6, B: 10e9, PackRate: 1e9,
+		G: map[string]float64{"probed": 99, "unprobed": 7e-8}})
+	approx(t, "g[probed]", cal.G["probed"], g, 1e-9)
+	if cal.G["unprobed"] != 7e-8 {
+		t.Errorf("unprobed prior g lost: %g", cal.G["unprobed"])
+	}
+	if cal.GFor("probed", 1) == 1 || cal.GFor("never-seen", 3e-8) != 3e-8 {
+		t.Error("GFor fallback semantics broken")
+	}
+}
+
+// TestExtraLatencyAddedToFitOnly: the staged-GPU correction Λ-L applies to
+// the fitted latency but never to the prior.
+func TestExtraLatencyAddedToFitOnly(t *testing.T) {
+	const L, B, extra = 2e-6, 10e9, 20e-6
+	mk := func(fill bool) Calib {
+		c := NewCalibrator()
+		c.ExtraLatency = extra
+		if fill {
+			for _, bytes := range []int64{100, 1000, 10000} {
+				c.AddExchange(bytes, L+float64(bytes)/B)
+			}
+		}
+		return c.Fit(Calib{L: 5e-6, B: 1e9, PackRate: 1e9})
+	}
+	fitted := mk(true)
+	approx(t, "fitted L", fitted.L, L+extra, 1e-9)
+	if prior := mk(false); prior.L != 5e-6 {
+		t.Errorf("prior L must stay uncorrected, got %g", prior.L)
+	}
+}
+
+// TestCalibNetAndString covers the pack-cost plumbing and the log format.
+func TestCalibNetAndString(t *testing.T) {
+	cal := Calib{L: 1e-6, B: 1e9, PackRate: 2e9, G: map[string]float64{"k": 1e-8}}
+	if n := cal.Net(0); n.C != 0 {
+		t.Error("no grouped payload, no pack cost")
+	}
+	if n := cal.Net(4e9); n.C != 2 {
+		t.Errorf("Net(4e9).C = %g, want 2", n.C)
+	}
+	s := cal.String()
+	if !strings.Contains(s, "prior") || !strings.Contains(s, "g[k]") {
+		t.Errorf("String() = %q", s)
+	}
+	cal.NetMeasured = true
+	cal.ExchangeSamples = 9
+	if s := cal.String(); !strings.Contains(s, "fit of 9 msgs") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -53,6 +53,12 @@ type Config struct {
 	// stay bit-identical to the fault-free run; virtual times include
 	// retransmission and degradation costs.
 	Faults *faults.Plan
+	// AutoTune lets the model-driven autotuner pick each chain's execution
+	// policy in the CA runs of the paper experiments (the -autotune flag).
+	// Results stay bit-identical to the static configuration. Ablations are
+	// deliberately excluded: they study pinned static knobs (fixed depth,
+	// grouping, partitioner, GPUDirect) that the tuner would override.
+	AutoTune bool
 }
 
 // observe invokes the Observe hook if one is configured.

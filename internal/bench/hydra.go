@@ -46,6 +46,7 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 6, CA: caMode, Chains: hydra.MustPaperConfig(),
 			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer, Faults: c.Faults,
+			AutoTune: c.AutoTune && caMode,
 		})
 		if err != nil {
 			panic("bench: " + err.Error())

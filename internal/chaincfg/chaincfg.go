@@ -12,9 +12,12 @@
 //	chain vflux maxhe=1 disable
 //
 // A chain line opens a chain with a name, an optional maximum halo extension
-// and an optional "disable" flag (the chain runs as plain OP2 loops). Loop
-// lines list the constituent loops in order, optionally pinning their halo
-// extension, overriding Algorithm 3.
+// and an optional "disable" flag (the chain runs as plain OP2 loops) or
+// "auto" flag (the model-driven autotuner picks the chain's policy at run
+// time). Loop lines list the constituent loops in order, optionally pinning
+// their halo extension, overriding Algorithm 3. Chain and loop names must
+// be unique: a duplicate would silently shadow the earlier entry, so both
+// are rejected at parse time.
 package chaincfg
 
 import (
@@ -39,6 +42,10 @@ type Chain struct {
 	MaxHE int
 	// Disabled chains execute as ordinary per-loop OP2 code.
 	Disabled bool
+	// Auto hands the chain's execution policy to the model-driven
+	// autotuner (cluster Config.AutoTune enables it for every chain);
+	// mutually exclusive with Disabled.
+	Auto bool
 	// MaxRetries overrides the back-end's per-message retransmission
 	// budget for this chain's exchanges under fault injection; 0 means
 	// "use the back-end default".
@@ -115,6 +122,8 @@ func Parse(r io.Reader) (*Config, error) {
 				switch {
 				case f == "disable":
 					cur.Disabled = true
+				case f == "auto":
+					cur.Auto = true
 				case strings.HasPrefix(f, "maxhe="):
 					v, err := strconv.Atoi(strings.TrimPrefix(f, "maxhe="))
 					if err != nil || v < 1 {
@@ -131,6 +140,9 @@ func Parse(r io.Reader) (*Config, error) {
 					return nil, fmt.Errorf("chaincfg: line %d: unknown chain option %q", lineNo, f)
 				}
 			}
+			if cur.Auto && cur.Disabled {
+				return nil, fmt.Errorf("chaincfg: line %d: chain %q cannot be both auto and disable", lineNo, name)
+			}
 			cfg.Chains[name] = cur
 			cfg.Order = append(cfg.Order, name)
 		case "loop":
@@ -141,6 +153,11 @@ func Parse(r io.Reader) (*Config, error) {
 				return nil, fmt.Errorf("chaincfg: line %d: loop needs a name", lineNo)
 			}
 			lc := LoopCfg{Name: fields[1]}
+			for _, prev := range cur.Loops {
+				if prev.Name == lc.Name {
+					return nil, fmt.Errorf("chaincfg: line %d: duplicate loop %q in chain %q", lineNo, lc.Name, cur.Name)
+				}
+			}
 			for _, f := range fields[2:] {
 				if strings.HasPrefix(f, "he=") {
 					v, err := strconv.Atoi(strings.TrimPrefix(f, "he="))
@@ -181,6 +198,9 @@ func (c *Config) String() string {
 		}
 		if ch.Disabled {
 			b.WriteString(" disable")
+		}
+		if ch.Auto {
+			b.WriteString(" auto")
 		}
 		b.WriteByte('\n')
 		for _, l := range ch.Loops {

@@ -104,6 +104,50 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseDuplicates: duplicate chain names and duplicate loop names
+// within a chain are configuration mistakes (a second entry would silently
+// shadow the first's overrides) and must be rejected at parse time.
+func TestParseDuplicates(t *testing.T) {
+	if _, err := ParseString("chain a\nchain b\nchain a\n"); err == nil ||
+		!strings.Contains(err.Error(), `duplicate chain "a"`) {
+		t.Errorf("duplicate chain: err = %v", err)
+	}
+	if _, err := ParseString("chain a\nloop x he=1\nloop y he=2\nloop x he=2\n"); err == nil ||
+		!strings.Contains(err.Error(), `duplicate loop "x"`) {
+		t.Errorf("duplicate loop: err = %v", err)
+	}
+	// The same loop name in different chains is fine.
+	if _, err := ParseString("chain a\nloop x he=1\nchain b\nloop x he=2\n"); err != nil {
+		t.Errorf("same loop name across chains rejected: %v", err)
+	}
+}
+
+// TestParseAuto: the "auto" token opts a chain into the autotuner; it
+// round-trips through String() and conflicts with "disable".
+func TestParseAuto(t *testing.T) {
+	cfg, err := ParseString("chain a auto\nloop x he=1\nchain b maxhe=2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Get("a").Auto || cfg.Get("b").Auto {
+		t.Fatalf("auto flags wrong: a=%+v b=%+v", cfg.Get("a"), cfg.Get("b"))
+	}
+	again, err := ParseString(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parsing String(): %v", err)
+	}
+	if !again.Get("a").Auto {
+		t.Errorf("auto lost in round trip: %q", cfg.String())
+	}
+	if _, err := ParseString("chain a auto disable\n"); err == nil ||
+		!strings.Contains(err.Error(), "cannot be both auto and disable") {
+		t.Errorf("auto+disable: err = %v", err)
+	}
+	if _, err := ParseString("chain a disable auto\n"); err == nil {
+		t.Error("disable+auto must also fail")
+	}
+}
+
 func TestStringRoundtrip(t *testing.T) {
 	cfg, err := ParseString(sample)
 	if err != nil {

@@ -1,0 +1,420 @@
+package cluster
+
+// autotune.go wires the model-driven autotuner (package autotune) into the
+// chain execution path. A tuned chain first runs ProbeWindows windows
+// per-loop (the standard OP2 baseline) while the calibrator collects
+// measured exchange spans, pack volumes and per-loop execution parameters;
+// then the tuner fits the machine parameters, derives Equation (3) inputs
+// for every feasible CA policy from the halo layouts, scores all candidates
+// with the analytic model and commits to the winner. Every subsequent
+// window runs the chosen policy and compares its measured time against the
+// prediction; divergence beyond Tune.ReplanPct re-tunes at the next window
+// boundary.
+//
+// Every candidate policy — per-loop OP2, CA at any feasible halo depth,
+// grouped or per-dat messages — produces bit-identical data (the
+// equivalence property the repo's tests enforce), so the tuner changes
+// virtual time only, never results. The one place that could break is a
+// configured chain whose pinned halo extensions sit *below* the
+// conservative analysis: there CA execution is a deliberate
+// application-knowledge override and per-loop probing would compute
+// different (safe, but different) values. Such chains are excluded from
+// tuning up front and recorded in AutoTuneStats.Skipped.
+
+import (
+	"fmt"
+
+	"op2ca/internal/autotune"
+	"op2ca/internal/ca"
+	"op2ca/internal/chaincfg"
+	"op2ca/internal/core"
+	"op2ca/internal/halo"
+	"op2ca/internal/model"
+	"op2ca/internal/obs"
+)
+
+// tuneKey identifies one tuned chain: name plus structural signature, so a
+// lazy chain whose auto-detected composition varies between flushes gets
+// one tuner state per distinct structure.
+type tuneKey struct {
+	chain string
+	sig   string
+}
+
+// tunedLoop is one chain position's measured Equation (1) parameters from
+// the most recent complete per-loop window (G is filled from the
+// calibration at decision time).
+type tunedLoop struct {
+	kernel string
+	p      model.LoopParams
+}
+
+// chainTune is the tuner state of one chain.
+type chainTune struct {
+	chain string
+	cfg   autotune.Config
+	cal   *autotune.Calibrator
+	// skip marks chains excluded from tuning (invariance guard); they run
+	// the static configuration unchanged.
+	skip   bool
+	probes int
+	// dirty records the dat IDs observed dirty at window entry during
+	// per-loop windows: the runtime validity state decides which of a CA
+	// plan's required exchanges actually ship, so candidate message shapes
+	// are derived from plan.Required filtered to these dats.
+	dirty map[int]bool
+	// window collects the current per-loop window's parameters; op2Params
+	// holds the most recent complete window (the Equation (2) baseline).
+	window    []tunedLoop
+	op2Params []tunedLoop
+	decision  *autotune.Decision
+}
+
+func (ct *chainTune) beginWindow() { ct.window = ct.window[:0] }
+
+// endWindow publishes a completed per-loop window's parameters. Windows
+// that ran CA leave the slice empty and keep the previous baseline.
+func (ct *chainTune) endWindow() {
+	if len(ct.window) > 0 {
+		ct.op2Params = append(ct.op2Params[:0], ct.window...)
+	}
+}
+
+// noteLoop records one loop execution of the sampled chain: a calibration
+// sample (to solve for g) and the window's Equation (1) parameters.
+func (ct *chainTune) noteLoop(kernel string, p model.LoopParams, seconds float64) {
+	ct.cal.AddLoop(kernel, p, seconds)
+	ct.window = append(ct.window, tunedLoop{kernel: kernel, p: p})
+}
+
+// noteExchange records one per-loop exchange of the sampled chain: which
+// dats were dirty, and the pack throughput samples.
+func (ct *chainTune) noteExchange(specs []exchangeSpec, sendBytes []int64, packRate float64) {
+	for _, sp := range specs {
+		ct.dirty[sp.dat.ID] = true
+	}
+	ct.notePack(sendBytes, packRate)
+}
+
+// notePack records per-rank pack volumes as throughput samples (the
+// simulator charges packing at the machine's PackRate, so bytes/rate is the
+// measured span).
+func (ct *chainTune) notePack(sendBytes []int64, packRate float64) {
+	for _, n := range sendBytes {
+		if n > 0 {
+			ct.cal.AddPack(n, float64(n)/packRate)
+		}
+	}
+}
+
+// tuneFor returns the tuner state for a chain about to execute with CA, or
+// nil when the chain is not tuned (autotuning off and no per-chain auto
+// flag, single-loop chain, disabled chain, or excluded by the invariance
+// guard).
+func (b *Backend) tuneFor(name string, loops []core.Loop, cfgChain *chaincfg.Chain) *chainTune {
+	if !b.cfg.CA || len(loops) < 2 {
+		return nil
+	}
+	if cfgChain != nil && cfgChain.Disabled {
+		return nil
+	}
+	if !b.cfg.AutoTune && (cfgChain == nil || !cfgChain.Auto) {
+		return nil
+	}
+	key := tuneKey{chain: name, sig: ca.ChainSignature(loops, nil)}
+	if ct, ok := b.tunes[key]; ok {
+		if ct.skip {
+			return nil
+		}
+		return ct
+	}
+	b.stats.AutoTune.Enabled = true
+	ct := &chainTune{
+		chain: name,
+		cfg:   b.cfg.Tune.WithDefaults(),
+		cal:   autotune.NewCalibrator(),
+		dirty: map[int]bool{},
+	}
+	m := b.cfg.Machine
+	if m.GPU != nil && !b.cfg.GPUDirect {
+		// Measured message spans cover the network leg alone; the model
+		// prices staged exchanges with the enlarged latency Λ.
+		ct.cal.ExtraLatency = m.GPU.ExchangeLatency(m.Latency) - m.Latency
+	}
+	if reason := b.tuneInvariant(name, loops, cfgChain); reason != "" {
+		ct.skip = true
+		b.stats.AutoTune.skip(name, reason)
+	}
+	b.tunes[key] = ct
+	if ct.skip {
+		return nil
+	}
+	return ct
+}
+
+// tuneInvariant checks that tuning cannot change the chain's results: a
+// configured chain whose pinned halo extensions sit below the conservative
+// analysis computes different values under CA than per-loop execution (a
+// deliberate application-knowledge override, e.g. Hydra's paper
+// configuration), so probing it per-loop would alter data. Returns a
+// non-empty reason to exclude the chain from tuning.
+func (b *Backend) tuneInvariant(name string, loops []core.Loop, cfgChain *chaincfg.Chain) string {
+	if cfgChain == nil {
+		return ""
+	}
+	over, err := cfgChain.HEOverrides(len(loops))
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	base, errB := ca.Inspect(name, loops, over)
+	safe, errS := ca.Inspect(name, loops, nil)
+	if errB != nil || errS != nil {
+		// Infeasible chains fall back to per-loop execution on every path;
+		// nothing to guard.
+		return ""
+	}
+	for i := range base.HE {
+		if base.HE[i] < safe.HE[i] {
+			return fmt.Sprintf("configured HE %v below conservative analysis %v: per-loop probing would change results",
+				base.HE, safe.HE)
+		}
+	}
+	return ""
+}
+
+// runTuned executes one window of a tuned chain: a per-loop probe window
+// while calibrating, the decided policy afterwards, re-tuning when the
+// measured window time diverges from the prediction.
+func (b *Backend) runTuned(ct *chainTune, name string, loops []core.Loop, cfgChain *chaincfg.Chain, cs *ChainStats) {
+	t0 := b.maxClock()
+	ct.beginWindow()
+	b.tuneSampling = ct
+	decided := ct.decision
+	if decided != nil && decided.ChosenPolicy.CA {
+		b.runChainImpl(name, loops, cfgChain, decided.ChosenPolicy.HE, decided.ChosenPolicy.Grouped, cs, true)
+	} else {
+		b.runPerLoop(name, loops, cs, t0)
+	}
+	b.tuneSampling = nil
+	ct.endWindow()
+
+	if decided == nil {
+		ct.probes++
+		if ct.probes >= ct.cfg.ProbeWindows {
+			b.tuneDecide(ct, name, loops, cfgChain)
+		}
+		return
+	}
+	measured := b.maxClock() - t0
+	decided.Windows++
+	decided.Measured = measured
+	if autotune.ShouldReplan(decided.Predicted, measured, ct.cfg.ReplanPct) {
+		b.tuneDecide(ct, name, loops, cfgChain)
+	}
+}
+
+// tuneDecide fits the calibration, enumerates and scores the candidate
+// policies and commits the winner. Called at a window boundary, so a policy
+// switch takes effect with the next window; the superseded policy's cached
+// plan is invalidated.
+func (b *Backend) tuneDecide(ct *chainTune, name string, loops []core.Loop, cfgChain *chaincfg.Chain) {
+	m := b.cfg.Machine
+	prior := autotune.Calib{
+		L:        b.modelNet(0).L,
+		B:        m.Bandwidth,
+		PackRate: m.PackRate,
+		G:        make(map[string]float64, len(loops)),
+	}
+	for _, l := range loops {
+		prior.G[l.Kernel.Name] = m.IterTime(l.Kernel)
+	}
+	cal := ct.cal.Fit(prior)
+
+	in := autotune.ChainInputs{Chain: name}
+	in.Op2 = make([]model.LoopParams, len(ct.op2Params))
+	for i, tl := range ct.op2Params {
+		p := tl.p
+		p.G = cal.GFor(tl.kernel, m.IterTime(loops[i].Kernel))
+		in.Op2[i] = p
+	}
+	var reason string
+	in.CA, reason = b.caCandidates(name, loops, cfgChain, ct, cal)
+
+	d, err := autotune.Score(in, cal)
+	if err != nil {
+		// Degenerate calibration (e.g. a broken custom machine model):
+		// keep the OP2 baseline rather than guessing.
+		d = autotune.Decision{Chain: name, Chosen: autotune.Policy{}.Key(), Reason: err.Error()}
+	} else if d.Reason == "" {
+		d.Reason = reason
+	}
+	if prev := ct.decision; prev != nil {
+		d.Replans = prev.Replans + 1
+		d.Windows = prev.Windows
+		d.Measured = prev.Measured
+		if prev.ChosenPolicy.CA && !prev.ChosenPolicy.Equal(d.ChosenPolicy) {
+			// The superseded policy's plan (and its exchange schedules)
+			// will not be replayed; drop it from the cache.
+			if e, ok := b.plans[planKey{chain: name, sig: ca.ChainSignature(loops, prev.ChosenPolicy.HE)}]; ok {
+				b.invalidatePlan(e)
+			}
+		}
+	}
+	ct.decision = &d
+	b.stats.AutoTune.note(&d, cal)
+	if b.tracer.Enabled() {
+		t := b.maxClock()
+		b.tracer.Emit(0, obs.TrackExec, obs.Tune, name+" -> "+d.Chosen, t, t, 0)
+	}
+}
+
+// caCandidates enumerates the feasible CA policies for a chain: the base
+// plan (Algorithm 3 plus any configured overrides) and every uniformly
+// deeper halo extension up to the back-end's built halo depth, each grouped
+// and ungrouped. A non-empty reason explains an empty or truncated
+// candidate set.
+func (b *Backend) caCandidates(name string, loops []core.Loop, cfgChain *chaincfg.Chain, ct *chainTune, cal autotune.Calib) ([]autotune.CACandidate, string) {
+	if len(loops) > b.cfg.MaxChainLen {
+		return nil, fmt.Sprintf("chain length %d exceeds MaxChainLen %d", len(loops), b.cfg.MaxChainLen)
+	}
+	var baseOver []int
+	if cfgChain != nil {
+		var err error
+		baseOver, err = cfgChain.HEOverrides(len(loops))
+		if err != nil {
+			panic("cluster: " + err.Error())
+		}
+	}
+	base, err := ca.Inspect(name, loops, baseOver)
+	if err != nil {
+		return nil, fmt.Sprintf("CA infeasible: %v", err)
+	}
+	if base.MaxDepth > b.cfg.Depth {
+		return nil, fmt.Sprintf("chain needs halo depth %d, back-end built with Depth %d", base.MaxDepth, b.cfg.Depth)
+	}
+	var out []autotune.CACandidate
+	addPlan := func(p ca.Plan, over []int) {
+		if !b.cfg.NoGroupedMsgs {
+			out = append(out, b.caCandidate(loops, p, over, true, ct, cal))
+		}
+		out = append(out, b.caCandidate(loops, p, over, false, ct, cal))
+	}
+	// The base plan's policy carries exactly the overrides the static path
+	// would use, so its plan-cache key matches a static run's.
+	addPlan(base, baseOver)
+	for r := base.MaxDepth + 1; r <= b.cfg.Depth; r++ {
+		over := make([]int, len(loops))
+		for i := range over {
+			over[i] = r
+		}
+		p, err := ca.Inspect(name, loops, over)
+		if err != nil || p.MaxDepth != r {
+			continue
+		}
+		addPlan(p, over)
+	}
+	return out, ""
+}
+
+// caCandidate prices one (plan, grouping) pair: Equation (3) parameters
+// from the halo layouts — per-loop core/halo iteration splits mirroring
+// runChainImpl's ranges exactly — and the message shape from the plan's
+// required exchanges filtered to the dats observed dirty during probing.
+func (b *Backend) caCandidate(loops []core.Loop, p ca.Plan, over []int, grouped bool, ct *chainTune, cal autotune.Calib) autotune.CACandidate {
+	m := b.cfg.Machine
+	var specs []exchangeSpec
+	for _, r := range p.Required {
+		if ct.dirty[r.Dat.ID] {
+			specs = append(specs, exchangeSpec{dat: r.Dat, execDepth: r.ExecDepth, nonexecDepth: r.NonexecDepth})
+		}
+	}
+	maxMsg, maxNeigh, nMsgs := b.exchangeShape(specs, grouped)
+	exchanging := nMsgs > 0
+
+	n := len(loops)
+	lp := make([]model.LoopParams, n)
+	for i, l := range loops {
+		lp[i].G = cal.GFor(l.Kernel.Name, m.IterTime(l.Kernel))
+	}
+	for r := 0; r < b.cfg.NParts; r++ {
+		lay := b.layouts[r]
+		for i, l := range loops {
+			sl := lay.SetL(l.Set)
+			e := sl.ExecEnd(p.HE[i])
+			c := e
+			if exchanging {
+				c = min(sl.CorePrefix(i), e)
+			}
+			halo := e - c
+			if p.HN[i] > 0 {
+				halo += int(sl.NonexecStart[p.HN[i]]) - int(sl.NonexecStart[0])
+			}
+			if f := float64(c); f > lp[i].CoreIters {
+				lp[i].CoreIters = f
+			}
+			if f := float64(halo); f > lp[i].HaloIters {
+				lp[i].HaloIters = f
+			}
+		}
+	}
+	cand := autotune.CACandidate{
+		Policy: autotune.Policy{CA: true, Depth: p.MaxDepth, HE: over, Grouped: grouped},
+		Params: model.ChainParams{
+			Loops:        lp,
+			Neighbours:   float64(maxNeigh),
+			GroupedBytes: float64(maxMsg),
+		},
+	}
+	if grouped {
+		cand.PackBytes = float64(maxMsg)
+	}
+	return cand
+}
+
+// exchangeShape walks the export lists for a spec set without moving any
+// data: the largest single message, the largest per-rank neighbour count
+// and the total message count, under either grouping. Mirrors doExchange's
+// message formation.
+func (b *Backend) exchangeShape(specs []exchangeSpec, grouped bool) (maxMsg int64, maxNeigh, nMsgs int) {
+	for r := 0; r < b.cfg.NParts; r++ {
+		byDest := map[int32]int64{}
+		msgs := 0
+		for _, sp := range specs {
+			sl := b.layouts[r].SetL(sp.dat.Set)
+			add := func(exports [][]halo.ExportList, depth int) {
+				for d := 0; d < depth; d++ {
+					for _, ex := range exports[d] {
+						if len(ex.Locals) == 0 {
+							continue
+						}
+						bytes := int64(len(ex.Locals) * sp.dat.Dim * 8)
+						if grouped {
+							byDest[ex.Rank] += bytes
+							continue
+						}
+						byDest[ex.Rank] += bytes // neighbour dedup only
+						msgs++
+						if bytes > maxMsg {
+							maxMsg = bytes
+						}
+					}
+				}
+			}
+			add(sl.ExportExec, sp.execDepth)
+			add(sl.ExportNonexec, sp.nonexecDepth)
+		}
+		if grouped {
+			msgs = len(byDest)
+			for _, bts := range byDest {
+				if bts > maxMsg {
+					maxMsg = bts
+				}
+			}
+		}
+		if len(byDest) > maxNeigh {
+			maxNeigh = len(byDest)
+		}
+		nMsgs += msgs
+	}
+	return maxMsg, maxNeigh, nMsgs
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"op2ca/internal/autotune"
 	"op2ca/internal/chaincfg"
 	"op2ca/internal/core"
 	"op2ca/internal/faults"
@@ -94,6 +95,18 @@ type Config struct {
 	// (attempt k waits RetryBackoff * 2^k beyond the timeout). Zero
 	// defaults to the machine latency.
 	RetryBackoff float64
+	// AutoTune hands every eligible chain's execution policy to the
+	// model-driven autotuner: calibrate Equations (1)-(4) from measured
+	// probe windows, score per-loop OP2 against CA at every feasible halo
+	// depth (grouped and ungrouped), run the predicted winner, and re-plan
+	// when predictions diverge from measurements. Individual chains opt in
+	// via the configuration file's "auto" flag even when this is false.
+	// Requires CA. Tuning never changes results — every candidate policy
+	// is bit-identical — only virtual time.
+	AutoTune bool
+	// Tune holds the autotuner knobs (probe window count, re-plan
+	// threshold); zero values select defaults.
+	Tune autotune.Config
 }
 
 // validity tracks how many halo shells of a dat currently hold owner-fresh
@@ -115,6 +128,12 @@ type Backend struct {
 
 	rec   *recording
 	lazyQ []core.Loop
+
+	// tunes holds per-chain autotuner state; tuneSampling points at the
+	// chain whose window is currently executing with calibration sampling
+	// on (see autotune.go).
+	tunes        map[tuneKey]*chainTune
+	tuneSampling *chainTune
 
 	// plans is the execution-plan cache: memoised inspection results and
 	// exchange schedules, keyed by chain structure. See plancache.go.
@@ -165,6 +184,9 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.Lazy && !cfg.CA {
 		return nil, fmt.Errorf("cluster: Lazy requires CA (lazy chains execute with Algorithm 2)")
 	}
+	if cfg.AutoTune && !cfg.CA {
+		return nil, fmt.Errorf("cluster: AutoTune requires CA (the tuner picks between per-loop and Algorithm 2 execution)")
+	}
 	if cfg.MaxRetries < 0 {
 		return nil, fmt.Errorf("cluster: MaxRetries %d < 0", cfg.MaxRetries)
 	}
@@ -198,6 +220,7 @@ func New(cfg Config) (*Backend, error) {
 		clock:   make([]float64, cfg.NParts),
 		stats:   newStats(),
 		plans:   map[planKey]*planEntry{},
+		tunes:   map[tuneKey]*chainTune{},
 	}
 	if err := b.net.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: machine %s: %v", cfg.Machine.Name, err)
@@ -311,11 +334,11 @@ func (b *Backend) ChainEnd() {
 	chainCfg := b.cfg.Chains.Get(rec.name)
 	useCA := b.cfg.CA && len(rec.loops) > 1 && (chainCfg == nil || !chainCfg.Disabled)
 	if !useCA {
-		t0 := b.maxClock()
-		for _, l := range rec.loops {
-			b.runStandard(l, rec.name)
-		}
-		cs.Time += b.maxClock() - t0
+		b.runPerLoop(rec.name, rec.loops, cs, b.maxClock())
+		return
+	}
+	if ct := b.tuneFor(rec.name, rec.loops, chainCfg); ct != nil {
+		b.runTuned(ct, rec.name, rec.loops, chainCfg, cs)
 		return
 	}
 	b.runChain(rec.name, rec.loops, chainCfg, cs)
@@ -371,12 +394,11 @@ func (b *Backend) FlushLazy() {
 	if len(q) == 1 {
 		// One queued loop: no chain to build. Run it per-loop, attributed
 		// to the lazy chain exactly like a chain fallback.
-		ls := b.stats.loop("lazy/" + q[0].Kernel.Name)
-		before := ls.Predicted
-		t0 := b.maxClock()
-		b.runStandard(q[0], "lazy")
-		cs.Predicted += ls.Predicted - before
-		cs.Time += b.maxClock() - t0
+		b.runPerLoop("lazy", q, cs, b.maxClock())
+		return
+	}
+	if ct := b.tuneFor("lazy", q, b.cfg.Chains.Get("lazy")); ct != nil {
+		b.runTuned(ct, "lazy", q, b.cfg.Chains.Get("lazy"), cs)
 		return
 	}
 	b.runChainAuto("lazy", q, cs)
@@ -455,9 +477,14 @@ func (b *Backend) forEachRank(f func(r int)) {
 	wg.Wait()
 }
 
-// runLoopOnRank executes iterations [lo, hi) of loop l on rank r.
-// gblScratch, when non-nil, holds per-argument redirection buffers for
-// global reduction arguments.
+// runLoopOnRank executes iterations [lo, hi) of loop l on rank r. Ranges
+// within the executable region run in the layout's canonical ExecOrder
+// (ascending global index), so indirect increments accumulate identically
+// on every rank and every execution policy — per-loop, CA at any depth —
+// and match the sequential reference bit for bit. Non-execute refresh
+// ranges write elementwise and run in storage order. gblScratch, when
+// non-nil, holds per-argument redirection buffers for global reduction
+// arguments.
 func (b *Backend) runLoopOnRank(r int, l core.Loop, lo, hi int, gblScratch [][]float64) {
 	if lo >= hi {
 		return
@@ -485,7 +512,7 @@ func (b *Backend) runLoopOnRank(r int, l core.Loop, lo, hi int, gblScratch [][]f
 		}
 		return data[i][e*a.Dat.Dim : (e+1)*a.Dat.Dim]
 	}
-	for iter := lo; iter < hi; iter++ {
+	run := func(iter int) {
 		vi := 0
 		for i, a := range l.Args {
 			switch {
@@ -510,6 +537,17 @@ func (b *Backend) runLoopOnRank(r int, l core.Loop, lo, hi int, gblScratch [][]f
 			}
 		}
 		l.Kernel.Fn(views)
+	}
+	if order := b.layouts[r].SetL(l.Set).ExecOrder; hi <= len(order) {
+		for _, iter := range order {
+			if it := int(iter); it >= lo && it < hi {
+				run(it)
+			}
+		}
+		return
+	}
+	for iter := lo; iter < hi; iter++ {
+		run(iter)
 	}
 }
 

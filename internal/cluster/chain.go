@@ -17,40 +17,57 @@ import (
 // every loop's core region while messages are in flight, wait once, then run
 // every loop's halo regions up to its halo extension.
 func (b *Backend) runChain(name string, loops []core.Loop, cfgChain *chaincfg.Chain, cs *ChainStats) {
-	b.runChainImpl(name, loops, cfgChain, cs, false)
+	b.runChainImpl(name, loops, cfgChain, b.overridesFor(cfgChain, len(loops)), !b.cfg.NoGroupedMsgs, cs, false)
 }
 
 // runChainAuto is runChain for automatically detected (lazy) chains:
 // instead of treating an under-built halo depth as a configuration error,
 // it falls back to per-loop execution.
 func (b *Backend) runChainAuto(name string, loops []core.Loop, cs *ChainStats) {
-	b.runChainImpl(name, loops, b.cfg.Chains.Get(name), cs, true)
+	cfgChain := b.cfg.Chains.Get(name)
+	b.runChainImpl(name, loops, cfgChain, b.overridesFor(cfgChain, len(loops)), !b.cfg.NoGroupedMsgs, cs, true)
 }
 
-func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincfg.Chain, cs *ChainStats, auto bool) {
+// overridesFor resolves a chain configuration's per-loop halo-extension
+// overrides; nil for an unconfigured chain, matching ca.Inspect's "no
+// override" convention.
+func (b *Backend) overridesFor(cfgChain *chaincfg.Chain, n int) []int {
+	if cfgChain == nil {
+		return nil
+	}
+	over, err := cfgChain.HEOverrides(n)
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	return over
+}
+
+// runPerLoop executes a chain's loops as ordinary per-loop OP2 code,
+// attributing time and the Equation (2) prediction (the sum of per-loop
+// Equation (1) predictions) to the chain. It is the CA fallback path, the
+// explicit-chain path when CA is off, and the autotuner's probe window.
+func (b *Backend) runPerLoop(name string, loops []core.Loop, cs *ChainStats, t0 float64) {
+	for _, l := range loops {
+		ls := b.stats.loop(name + "/" + l.Kernel.Name)
+		before := ls.Predicted
+		b.runStandard(l, name)
+		cs.Predicted += ls.Predicted - before
+	}
+	cs.Time += b.maxClock() - t0
+}
+
+// runChainImpl is the CA chain executor. overrides and grouped are the
+// policy knobs: the static path derives them from the configuration
+// (overridesFor, !NoGroupedMsgs), the autotuner passes its chosen policy.
+func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincfg.Chain,
+	overrides []int, grouped bool, cs *ChainStats, auto bool) {
 	t0 := b.maxClock()
 	m := b.cfg.Machine
 
 	fallback := func() {
-		for _, l := range loops {
-			ls := b.stats.loop(name + "/" + l.Kernel.Name)
-			before := ls.Predicted
-			b.runStandard(l, name)
-			// The chain's prediction is the sum of its loops' Equation (1)
-			// predictions (Equation (2)) when it runs per-loop.
-			cs.Predicted += ls.Predicted - before
-		}
-		cs.Time += b.maxClock() - t0
+		b.runPerLoop(name, loops, cs, t0)
 	}
 
-	var overrides []int
-	if cfgChain != nil {
-		var err error
-		overrides, err = cfgChain.HEOverrides(len(loops))
-		if err != nil {
-			panic("cluster: " + err.Error())
-		}
-	}
 	// Inspect once, execute many: the plan cache memoises the inspection
 	// result (and, below, the exchange schedules) per chain structure.
 	entry := b.planEntry(name, loops, overrides)
@@ -96,8 +113,10 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	}
 	specs := entry.specsFor(plan)
 	specs = b.filterNeeds(specs)
-	res := b.exchangeFor(entry, specs)
-	grouped := !b.cfg.NoGroupedMsgs
+	res := b.exchangeFor(entry, specs, grouped)
+	if ct := b.tuneSampling; ct != nil {
+		ct.notePack(res.sendBytes, m.PackRate)
+	}
 	exchanging := len(res.msgs) > 0
 
 	n := len(loops)
@@ -207,26 +226,16 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	arrivals := d.arrivals
 
 	b.forEachRank(func(r int) {
-		cores, execEnd, nx := coreEnds[r], execEnds[r], nxs[r]
-		if exchanging {
-			// Phase 1 (Algorithm 2 lines 8-12): core regions of every
-			// loop, in chain order, while the grouped message is in
-			// flight.
-			for i, l := range loops {
-				b.runLoopOnRank(r, l, 0, cores[i], nil)
-			}
-			// Phase 2 (lines 14-18): halo regions after the wait, in
-			// chain order.
-			for i, l := range loops {
-				b.runLoopOnRank(r, l, cores[i], execEnd[i], nil)
-				b.runLoopOnRank(r, l, nx[i].lo, nx[i].hi, nil)
-			}
-		} else {
-			// Nothing in flight: run each loop completely, in order.
-			for i, l := range loops {
-				b.runLoopOnRank(r, l, 0, execEnd[i], nil)
-				b.runLoopOnRank(r, l, nx[i].lo, nx[i].hi, nil)
-			}
+		execEnd, nx := execEnds[r], nxs[r]
+		// Data effects: each loop runs completely, in chain order, in the
+		// canonical element order (see runLoopOnRank) — exactly the
+		// sequence the sequential reference and the per-loop path apply.
+		// Algorithm 2's core/halo phase split (lines 8-18) lives entirely
+		// in the virtual-time arithmetic below; splitting the data pass
+		// too would re-order float accumulations per rank and policy.
+		for i, l := range loops {
+			b.runLoopOnRank(r, l, 0, execEnd[i], nil)
+			b.runLoopOnRank(r, l, nx[i].lo, nx[i].hi, nil)
 		}
 	})
 	gpuDirect := b.cfg.GPUDirect && m.GPU != nil

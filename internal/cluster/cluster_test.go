@@ -431,3 +431,50 @@ func TestChainConfigDisable(t *testing.T) {
 	got := map[string][]float64{"res": b.GatherDat(a.res), "flux": b.GatherDat(a.flux)}
 	compareExact(t, "disabled", got, want)
 }
+
+// TestFloatBitReproducible: with inputs that are not exactly representable
+// in binary (so any reordered accumulation flips low-order bits), every
+// execution policy must still match the sequential reference bit for bit —
+// data effects apply in the canonical global element order regardless of
+// partitioning, chaining, halo depth or a mid-run policy switch. The
+// integer-valued mini-app cannot see this class of bug; this is the float
+// stress case behind the autotune and fault-injection checksum invariants.
+func TestFloatBitReproducible(t *testing.T) {
+	m := mesh.Rotor(8, 6, 5)
+	const steps, nparts = 4, 5
+	build := func() *miniApp {
+		a := newMiniApp(m)
+		bw := a.p.DeclDat(a.bedges, 1, makeBW(m.NBedges), "bw")
+		for _, d := range []*core.Dat{a.pres, a.vol, a.ew, bw} {
+			for i := range d.Data {
+				d.Data[i] = d.Data[i]*0.1 + 0.01
+			}
+		}
+		return a
+	}
+	sa := build()
+	sa.run(core.NewSeq(), steps, false)
+	want := map[string][]float64{"res": sa.res.Data, "flux": sa.flux.Data}
+	for _, tc := range []struct {
+		name            string
+		ca, chain, tune bool
+	}{
+		{"op2", false, false, false},
+		{"op2-chained", false, true, false},
+		{"ca", true, true, false},
+		{"autotune", true, true, true},
+	} {
+		a := build()
+		b, err := New(Config{
+			Prog: a.p, Primary: a.nodes, Assign: partition.KWay(m.NodeAdjacency(), nparts),
+			NParts: nparts, Depth: 2, MaxChainLen: 4, CA: tc.ca, AutoTune: tc.tune,
+			Machine: machine.ARCHER2(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.run(b, steps, tc.chain)
+		compareExact(t, tc.name+" vs seq", map[string][]float64{
+			"res": b.GatherDat(a.res), "flux": b.GatherDat(a.flux)}, want)
+	}
+}

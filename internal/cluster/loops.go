@@ -16,6 +16,9 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 
 	specs := b.filterNeeds(standardNeeds(l))
 	res := b.doExchange(specs, false)
+	if ct := b.tuneSampling; ct != nil && chainName == ct.chain {
+		ct.noteExchange(specs, res.sendBytes, m.PackRate)
+	}
 
 	gbl := b.prepareGlobals(l)
 	g := m.IterTime(l.Kernel)
@@ -40,8 +43,10 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 		if gbl != nil {
 			gs = gbl[r]
 		}
-		b.runLoopOnRank(r, l, 0, c, gs)
-		b.runLoopOnRank(r, l, c, e, gs)
+		// One canonical-order pass over the whole executable range: the
+		// core/halo split below shapes the virtual-time overlap only, never
+		// the order data effects apply in (see runLoopOnRank).
+		b.runLoopOnRank(r, l, 0, e, gs)
 		coreEnd[r], end[r] = c, e
 		post[r] = b.clock[r] + float64(res.sendBytes[r])/m.PackRate
 		if !b.cfg.GPUDirect {
@@ -208,6 +213,13 @@ func (b *Backend) recordLoopStats(l core.Loop, chainName string, res exchangeRes
 		NDats: float64(res.nDats), Neighbours: float64(execMaxNeigh),
 		MsgBytes: float64(execMaxMsg),
 	}, b.modelNet(0))
+	if ct := b.tuneSampling; ct != nil && chainName == ct.chain {
+		ct.noteLoop(l.Kernel.Name, model.LoopParams{
+			CoreIters: float64(maxCore), HaloIters: float64(maxHalo),
+			NDats: float64(res.nDats), Neighbours: float64(execMaxNeigh),
+			MsgBytes: float64(execMaxMsg),
+		}, b.maxClock()-t0-reduceTime)
+	}
 }
 
 var _ core.Backend = (*Backend)(nil)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -30,7 +31,16 @@ func (b *Backend) modelNet(c float64) model.Net {
 func (b *Backend) ModelReport() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "model check (%s, %d ranks)\n", b.cfg.Machine.Name, b.cfg.NParts)
+	if err := b.modelNet(0).Validate(); err != nil {
+		fmt.Fprintf(&sb, "model parameters invalid: %v\n", err)
+	}
 	fmt.Fprintf(&sb, "%-28s %14s %14s %8s\n", "", "predicted", "measured", "err")
+	var absErrs []float64
+	row := func(kind, name string, v model.Validation) {
+		e := v.ErrPct()
+		absErrs = append(absErrs, math.Abs(e))
+		fmt.Fprintf(&sb, "%-5s %-22s %12.6fs %12.6fs %+7.1f%%\n", kind, name, v.Predicted, v.Measured, e)
+	}
 	var names []string
 	for n := range b.stats.Loops {
 		names = append(names, n)
@@ -38,8 +48,7 @@ func (b *Backend) ModelReport() string {
 	sort.Strings(names)
 	for _, n := range names {
 		l := b.stats.Loops[n]
-		v := model.Validation{Predicted: l.Predicted, Measured: l.Time}
-		fmt.Fprintf(&sb, "loop  %-22s %12.6fs %12.6fs %+7.1f%%\n", n, v.Predicted, v.Measured, v.ErrPct())
+		row("loop", n, model.Validation{Predicted: l.Predicted, Measured: l.Time})
 	}
 	names = names[:0]
 	for n := range b.stats.Chains {
@@ -48,8 +57,17 @@ func (b *Backend) ModelReport() string {
 	sort.Strings(names)
 	for _, n := range names {
 		c := b.stats.Chains[n]
-		v := model.Validation{Predicted: c.Predicted, Measured: c.Time}
-		fmt.Fprintf(&sb, "chain %-22s %12.6fs %12.6fs %+7.1f%%\n", n, v.Predicted, v.Measured, v.ErrPct())
+		row("chain", n, model.Validation{Predicted: c.Predicted, Measured: c.Time})
+	}
+	if n := len(absErrs); n > 0 {
+		var sum, max float64
+		for _, e := range absErrs {
+			sum += e
+			if e > max {
+				max = e
+			}
+		}
+		fmt.Fprintf(&sb, "aggregate over %d rows: mean |err| %.1f%% max |err| %.1f%%\n", n, sum/float64(n), max)
 	}
 	return sb.String()
 }

@@ -104,9 +104,16 @@ func (e *planEntry) specsFor(plan ca.Plan) []exchangeSpec {
 }
 
 // specFingerprint is a comparable key for a filtered spec set: which dats
-// exchange which shell depths.
-func specFingerprint(specs []exchangeSpec) string {
+// exchange which shell depths, under which message grouping. The grouping
+// joins the key because the autotuner can run the same plan grouped one
+// window and ungrouped the next; their schedules differ.
+func specFingerprint(specs []exchangeSpec, grouped bool) string {
 	var sb strings.Builder
+	if grouped {
+		sb.WriteString("g;")
+	} else {
+		sb.WriteString("u;")
+	}
 	for _, sp := range specs {
 		fmt.Fprintf(&sb, "%d:%d:%d;", sp.dat.ID, sp.execDepth, sp.nonexecDepth)
 	}
@@ -160,12 +167,11 @@ type exchangeSchedule struct {
 // replayed thereafter. Spec sets beyond the memoisation bound — dirty
 // states the plan has not seen — fall back to the uncached path, as does a
 // disabled cache.
-func (b *Backend) exchangeFor(entry *planEntry, specs []exchangeSpec) exchangeResult {
-	grouped := !b.cfg.NoGroupedMsgs
+func (b *Backend) exchangeFor(entry *planEntry, specs []exchangeSpec, grouped bool) exchangeResult {
 	if entry == nil || len(specs) == 0 {
 		return b.doExchange(specs, grouped)
 	}
-	fp := specFingerprint(specs)
+	fp := specFingerprint(specs, grouped)
 	s, ok := entry.schedules[fp]
 	if !ok {
 		if len(entry.schedules) >= maxSchedulesPerPlan {

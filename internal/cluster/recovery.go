@@ -51,7 +51,23 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 	b.faultSeq++
 	plan := b.cfg.Faults
 	if !plan.Enabled() {
-		return delivery{arrivals: b.net.Deliver(post, msgs)}
+		arrivals := b.net.Deliver(post, msgs)
+		if ct := b.tuneSampling; ct != nil {
+			// Calibration sampling: replay the per-sender serialisation to
+			// recover each message's own span (NIC-ready to arrival). Only
+			// clean deliveries feed the fit — retransmission noise under
+			// fault injection would poison the L/B regression.
+			busy := make(map[int32]float64, len(post))
+			for i, m := range msgs {
+				start, ok := busy[m.From]
+				if !ok {
+					start = post[m.From]
+				}
+				ct.cal.AddExchange(m.Bytes, arrivals[i]-start)
+				busy[m.From] = arrivals[i]
+			}
+		}
+		return delivery{arrivals: arrivals}
 	}
 	fs := &b.stats.Faults
 	traced := b.tracer.Enabled()

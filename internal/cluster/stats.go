@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"op2ca/internal/autotune"
 	"op2ca/internal/obs"
 )
 
@@ -110,15 +111,85 @@ func (s *FaultStats) Add(o FaultStats) {
 	s.FallbackPerLoop += o.FallbackPerLoop
 }
 
+// AutoTuneStats records the model-driven autotuner's activity: the most
+// recent calibration, the latest decision per chain, and the chains the
+// invariance guard excluded from tuning (with why).
+type AutoTuneStats struct {
+	// Enabled reports whether any chain engaged the tuner this run.
+	Enabled bool
+	// Calib is the most recent fitted parameter set.
+	Calib autotune.Calib
+	// Decisions maps chain name to its latest decision (updated in place
+	// as windows and re-plans accumulate); Order preserves first-decision
+	// order for reporting.
+	Decisions map[string]*autotune.Decision
+	Order     []string
+	// Skipped maps chains excluded from tuning to the reason; SkipOrder
+	// preserves first-seen order.
+	Skipped   map[string]string
+	SkipOrder []string
+}
+
+func (a *AutoTuneStats) note(d *autotune.Decision, cal autotune.Calib) {
+	a.Enabled = true
+	a.Calib = cal
+	if _, ok := a.Decisions[d.Chain]; !ok {
+		a.Order = append(a.Order, d.Chain)
+	}
+	a.Decisions[d.Chain] = d
+}
+
+func (a *AutoTuneStats) skip(name, reason string) {
+	a.Enabled = true
+	if _, ok := a.Skipped[name]; !ok {
+		a.SkipOrder = append(a.SkipOrder, name)
+	}
+	a.Skipped[name] = reason
+}
+
+// Report renders the tuner's decisions for run logs; empty when the tuner
+// never engaged.
+func (a *AutoTuneStats) Report() string {
+	if !a.Enabled {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "autotune: %s\n", a.Calib.String())
+	for _, n := range a.Order {
+		d := a.Decisions[n]
+		fmt.Fprintf(&b, "autotune: chain %-16s -> %-18s predicted %.6fs (op2 %.6fs) measured %.6fs windows %d replans %d",
+			n, d.Chosen, d.Predicted, d.PredictedOp2, d.Measured, d.Windows, d.Replans)
+		if d.Reason != "" {
+			fmt.Fprintf(&b, " (%s)", d.Reason)
+		}
+		b.WriteByte('\n')
+		for _, c := range d.Candidates {
+			fmt.Fprintf(&b, "autotune:   candidate %-18s %.6fs\n", c.Policy, c.Predicted)
+		}
+	}
+	for _, n := range a.SkipOrder {
+		fmt.Fprintf(&b, "autotune: chain %-16s not tuned: %s\n", n, a.Skipped[n])
+	}
+	return b.String()
+}
+
 // Stats collects instrumentation for one Backend.
 type Stats struct {
-	Loops  map[string]*LoopStats
-	Chains map[string]*ChainStats
-	Faults FaultStats
+	Loops    map[string]*LoopStats
+	Chains   map[string]*ChainStats
+	Faults   FaultStats
+	AutoTune AutoTuneStats
 }
 
 func newStats() *Stats {
-	return &Stats{Loops: map[string]*LoopStats{}, Chains: map[string]*ChainStats{}}
+	return &Stats{
+		Loops:  map[string]*LoopStats{},
+		Chains: map[string]*ChainStats{},
+		AutoTune: AutoTuneStats{
+			Decisions: map[string]*autotune.Decision{},
+			Skipped:   map[string]string{},
+		},
+	}
 }
 
 func (s *Stats) loop(name string) *LoopStats {
@@ -179,6 +250,7 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, "faults drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n",
 			f.Drops, f.Corrupts, f.Delays, f.Retries, f.Giveups, f.FallbackUngrouped, f.FallbackPerLoop)
 	}
+	b.WriteString(s.AutoTune.Report())
 	return b.String()
 }
 
@@ -253,4 +325,55 @@ func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
 	mw.Sample("op2ca_fault_giveups_total", extra, float64(f.Giveups))
 	mw.Sample("op2ca_fault_fallback_ungrouped_total", extra, float64(f.FallbackUngrouped))
 	mw.Sample("op2ca_fault_fallback_perloop_total", extra, float64(f.FallbackPerLoop))
+
+	if a := &s.AutoTune; a.Enabled {
+		mw.Declare("op2ca_autotune_decisions_total", "counter", "Chains the autotuner decided a policy for.")
+		mw.Declare("op2ca_autotune_replans_total", "counter", "Autotuner re-plans triggered by prediction divergence.")
+		mw.Declare("op2ca_autotune_windows_total", "counter", "Decided (non-probe) windows executed under tuned policies.")
+		mw.Declare("op2ca_autotune_candidates", "gauge", "Policies scored for the chain's latest decision.")
+		mw.Declare("op2ca_autotune_predicted_seconds", "gauge", "Chosen policy's predicted per-window time.")
+		mw.Declare("op2ca_autotune_predicted_op2_seconds", "gauge", "OP2 baseline's predicted per-window time.")
+		mw.Declare("op2ca_autotune_measured_seconds", "gauge", "Most recent decided window's measured time.")
+		mw.Declare("op2ca_autotune_chosen_ca", "gauge", "1 when the chosen policy is communication-avoiding.")
+		mw.Declare("op2ca_autotune_latency_seconds", "gauge", "Calibrated per-message latency L.")
+		mw.Declare("op2ca_autotune_bandwidth_bytes_per_second", "gauge", "Calibrated per-rank bandwidth B.")
+		mw.Declare("op2ca_autotune_pack_rate_bytes_per_second", "gauge", "Calibrated pack/unpack rate.")
+		mw.Declare("op2ca_autotune_g_seconds", "gauge", "Calibrated per-iteration cost g_l.")
+		var replans, windows int64
+		names := make([]string, 0, len(a.Decisions))
+		for n := range a.Decisions {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			d := a.Decisions[n]
+			replans += int64(d.Replans)
+			windows += int64(d.Windows)
+			lb := append([]obs.Label{{Key: "chain", Value: n}}, extra...)
+			mw.Sample("op2ca_autotune_candidates", lb, float64(len(d.Candidates)))
+			mw.Sample("op2ca_autotune_predicted_seconds", lb, d.Predicted)
+			mw.Sample("op2ca_autotune_predicted_op2_seconds", lb, d.PredictedOp2)
+			mw.Sample("op2ca_autotune_measured_seconds", lb, d.Measured)
+			ca := 0.0
+			if d.ChosenPolicy.CA {
+				ca = 1
+			}
+			mw.Sample("op2ca_autotune_chosen_ca", lb, ca)
+		}
+		mw.Sample("op2ca_autotune_decisions_total", extra, float64(len(a.Decisions)))
+		mw.Sample("op2ca_autotune_replans_total", extra, float64(replans))
+		mw.Sample("op2ca_autotune_windows_total", extra, float64(windows))
+		mw.Sample("op2ca_autotune_latency_seconds", extra, a.Calib.L)
+		mw.Sample("op2ca_autotune_bandwidth_bytes_per_second", extra, a.Calib.B)
+		mw.Sample("op2ca_autotune_pack_rate_bytes_per_second", extra, a.Calib.PackRate)
+		names = names[:0]
+		for n := range a.Calib.G {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			lb := append([]obs.Label{{Key: "loop", Value: n}}, extra...)
+			mw.Sample("op2ca_autotune_g_seconds", lb, a.Calib.G[n])
+		}
+	}
 }

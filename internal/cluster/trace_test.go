@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -196,6 +197,20 @@ func TestModelReport(t *testing.T) {
 	// small CPU mesh the prediction must land in the right ballpark.
 	if ratio := cs.Predicted / cs.Time; ratio < 0.5 || ratio > 2 {
 		t.Errorf("chain prediction off by more than 2x: predicted %v measured %v", cs.Predicted, cs.Time)
+	}
+	if !strings.Contains(rep, "aggregate over ") ||
+		!strings.Contains(rep, "mean |err|") || !strings.Contains(rep, "max |err|") {
+		t.Errorf("report missing aggregate error row:\n%s", rep)
+	}
+	// The aggregate must cover every loop and chain row printed above it.
+	rows := 0
+	for _, line := range strings.Split(rep, "\n") {
+		if strings.HasPrefix(line, "loop ") || strings.HasPrefix(line, "chain ") {
+			rows++
+		}
+	}
+	if !strings.Contains(rep, fmt.Sprintf("aggregate over %d rows", rows)) {
+		t.Errorf("aggregate row count != %d printed rows:\n%s", rows, rep)
 	}
 }
 

@@ -45,3 +45,30 @@ func TestV100Sane(t *testing.T) {
 		t.Error("effective memory bandwidth cannot exceed peak")
 	}
 }
+
+// TestExchangeLatencyEdges: a device with free staging (zero PCIe latency)
+// degenerates Λ to the bare network latency, and a zero network latency
+// leaves only the two staging legs.
+func TestExchangeLatencyEdges(t *testing.T) {
+	d := V100()
+	d.PCIeLatency = 0
+	if got := d.ExchangeLatency(4e-6); got != 4e-6 {
+		t.Errorf("Λ with free staging = %g, want the network latency", got)
+	}
+	d2 := V100()
+	if got := d2.ExchangeLatency(0); got != 2*d2.PCIeLatency {
+		t.Errorf("Λ with free network = %g, want 2x PCIe latency", got)
+	}
+	if d.StageTime(1<<20) != float64(1<<20)/d.PCIeBandwidth {
+		t.Error("zero PCIe latency must leave the pure bandwidth term")
+	}
+}
+
+// TestTraceStageZeroBytes: a zero-byte staging buffer issues no transfer —
+// no span, no time — even with a nil tracer.
+func TestTraceStageZeroBytes(t *testing.T) {
+	d := V100()
+	if end := d.TraceStage(nil, 0, "x", 3.5, 0); end != 3.5 {
+		t.Errorf("zero-byte stage advanced time to %g", end)
+	}
+}

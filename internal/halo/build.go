@@ -249,6 +249,13 @@ func Build(prog *core.Program, owners [][]int32, nparts, depth, maxChainLen int)
 			for loc, g := range sl.L2G {
 				sl.G2L[g] = int32(loc)
 			}
+			sl.ExecOrder = make([]int32, sl.ExecEnd(depth))
+			for i := range sl.ExecOrder {
+				sl.ExecOrder[i] = int32(i)
+			}
+			sort.Slice(sl.ExecOrder, func(i, j int) bool {
+				return sl.L2G[sl.ExecOrder[i]] < sl.L2G[sl.ExecOrder[j]]
+			})
 			l.Sets[s] = sl
 		}
 

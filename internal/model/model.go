@@ -10,7 +10,10 @@
 // cluster back-end, and machine parameters from package machine.
 package model
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // LoopParams parameterises one OP2 loop for Equation (1).
 type LoopParams struct {
@@ -29,6 +32,28 @@ type LoopParams struct {
 	MsgBytes float64
 }
 
+// Validate rejects parameter combinations that would silently poison every
+// Equation (1)-(3) evaluation: a non-finite or negative per-iteration cost,
+// or negative/non-finite counters. The autotuner calls this before scoring
+// calibrated parameters; ModelReport before printing predictions.
+func (p LoopParams) Validate() error {
+	if p.G < 0 || math.IsNaN(p.G) || math.IsInf(p.G, 0) {
+		return fmt.Errorf("model: G %g must be a non-negative, finite time", p.G)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CoreIters", p.CoreIters}, {"HaloIters", p.HaloIters},
+		{"NDats", p.NDats}, {"Neighbours", p.Neighbours}, {"MsgBytes", p.MsgBytes},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("model: %s %g must be a non-negative, finite count", f.name, f.v)
+		}
+	}
+	return nil
+}
+
 // Net holds the network parameters of Equations (1)-(3).
 type Net struct {
 	// L is the per-message latency (Λ for staged GPU transfers).
@@ -38,6 +63,23 @@ type Net struct {
 	// C is the per-neighbour pack/unpack cost of the grouped message
 	// (the c term of Equation (3)); zero for standard loops.
 	C float64
+}
+
+// Validate rejects network parameters that would produce meaningless model
+// times (mirrors netsim.Network.Validate): a non-positive or non-finite
+// bandwidth yields Inf or negative transfer terms, and negative latency or
+// pack cost invert the cost model.
+func (n Net) Validate() error {
+	if n.B <= 0 || math.IsNaN(n.B) || math.IsInf(n.B, 0) {
+		return fmt.Errorf("model: B %g must be a positive, finite byte rate", n.B)
+	}
+	if n.L < 0 || math.IsNaN(n.L) || math.IsInf(n.L, 0) {
+		return fmt.Errorf("model: L %g must be a non-negative, finite time", n.L)
+	}
+	if n.C < 0 || math.IsNaN(n.C) || math.IsInf(n.C, 0) {
+		return fmt.Errorf("model: C %g must be a non-negative, finite time", n.C)
+	}
+	return nil
 }
 
 // TOp2Loop is Equation (1): the runtime of one standard OP2 loop,

@@ -166,3 +166,52 @@ func TestBreakEven(t *testing.T) {
 		t.Error("above break-even CA should lose")
 	}
 }
+
+func TestLoopParamsValidate(t *testing.T) {
+	good := LoopParams{G: 1e-8, CoreIters: 10, HaloIters: 2, NDats: 1, Neighbours: 3, MsgBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	if err := (LoopParams{}).Validate(); err != nil {
+		t.Fatalf("zero params are degenerate but not invalid: %v", err)
+	}
+	bad := []LoopParams{
+		{G: -1},
+		{G: math.NaN()},
+		{G: math.Inf(1)},
+		{CoreIters: -1},
+		{HaloIters: math.NaN()},
+		{NDats: -2},
+		{Neighbours: math.Inf(-1)},
+		{MsgBytes: -8},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad[%d] = %+v accepted", i, p)
+		}
+	}
+}
+
+func TestNetValidate(t *testing.T) {
+	if err := (Net{L: 1e-6, B: 1e9, C: 1e-7}).Validate(); err != nil {
+		t.Fatalf("valid net rejected: %v", err)
+	}
+	if err := (Net{L: 0, B: 1e9}).Validate(); err != nil {
+		t.Fatalf("zero latency is valid: %v", err)
+	}
+	bad := []Net{
+		{B: 0, L: 1e-6},
+		{B: -1e9},
+		{B: math.NaN()},
+		{B: math.Inf(1)},
+		{B: 1e9, L: -1e-6},
+		{B: 1e9, L: math.NaN()},
+		{B: 1e9, C: -1},
+		{B: 1e9, C: math.Inf(1)},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad[%d] = %+v accepted", i, n)
+		}
+	}
+}

@@ -58,13 +58,17 @@ const (
 	// Giveup marks a message that exhausted its retransmission budget;
 	// the runtime degrades the surrounding exchange instead of dying.
 	Giveup
+	// Tune marks an autotuner decision point: the span name carries the
+	// chain and the chosen policy. Zero-length — the tuner runs in the
+	// inspector, off the virtual-time critical path.
+	Tune
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage",
-	"retry", "giveup",
+	"retry", "giveup", "tune",
 }
 
 func (k Kind) String() string {
