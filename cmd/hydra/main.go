@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"op2ca/internal/ca"
 	"op2ca/internal/chaincfg"
+	"op2ca/internal/checkpoint"
 	"op2ca/internal/cluster"
 	"op2ca/internal/core"
 	"op2ca/internal/faults"
@@ -51,8 +53,24 @@ func main() {
 			"let the model-driven autotuner pick each chain's execution policy (requires -backend ca); results stay bit-identical to any static configuration")
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.01,straggler=rank3:10x,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
+		ckptFlag = flag.String("checkpoint", "",
+			"periodic snapshots, e.g. every=5,path=ck.bin: checkpoint the backend after every N iterations (requires -backend op2 or ca)")
+		restorePath = flag.String("restore", "",
+			"resume from a checkpoint file instead of running setup; completed iterations are skipped (requires -backend op2 or ca)")
 	)
 	flag.Parse()
+
+	var ckpt checkpoint.Spec
+	if *ckptFlag != "" {
+		s, err := checkpoint.ParseSpec(*ckptFlag)
+		if err != nil {
+			fatal(err)
+		}
+		ckpt = s
+	}
+	if (*ckptFlag != "" || *restorePath != "") && *backendName == "seq" {
+		fatal(fmt.Errorf("-checkpoint/-restore need a distributed backend (op2 or ca)"))
+	}
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -97,6 +115,7 @@ func main() {
 
 	var b core.Backend
 	var cb *cluster.Backend
+	startIter := 0
 	switch *backendName {
 	case "seq":
 		b = core.NewSeq()
@@ -117,14 +136,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hydra: -autotune requires -backend ca; ignored")
 			*autoTune = false
 		}
-		cb, err = cluster.New(cluster.Config{
+		ccfg := cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: *ranks,
 			Depth: depth, MaxChainLen: 6, CA: *backendName == "ca",
 			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: tracer, Faults: plan,
 			AutoTune: *autoTune,
-		})
-		if err != nil {
-			fatal(err)
+		}
+		if *restorePath != "" {
+			f, err := os.Open(*restorePath)
+			if err != nil {
+				fatal(err)
+			}
+			var note string
+			cb, note, err = cluster.Restore(f, ccfg)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := fmt.Sscanf(note, "iter=%d", &startIter); err != nil {
+				fatal(fmt.Errorf("checkpoint note %q is not an iteration marker: %w", note, err))
+			}
+			fmt.Printf("restored from %s: setup + %d iterations already complete\n", *restorePath, startIter)
+		} else {
+			cb, err = cluster.New(ccfg)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		b = cb
 	default:
@@ -132,9 +169,30 @@ func main() {
 	}
 
 	chained := *backendName == "ca"
-	app.RunSetup(b, chained)
-	for it := 0; it < *iters; it++ {
-		app.RunIteration(b, chained)
+	crash := catchCrash(func() {
+		if *restorePath == "" {
+			app.RunSetup(b, chained)
+		}
+		for it := startIter; it < *iters; it++ {
+			app.RunIteration(b, chained)
+			if ckpt.Enabled() && (it+1)%ckpt.Every == 0 {
+				note := fmt.Sprintf("iter=%d", it+1)
+				if err := checkpoint.AtomicWriteFile(ckpt.Path, func(w io.Writer) error {
+					return cb.Checkpoint(w, note)
+				}); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	})
+	if crash != nil {
+		fmt.Fprintf(os.Stderr, "hydra: injected crash of rank %d at exchange %d\n", crash.Rank, crash.Exchange)
+		if ckpt.Enabled() {
+			if _, err := os.Stat(ckpt.Path); err == nil {
+				fmt.Fprintf(os.Stderr, "hydra: resume with -restore %s (drop the crash= clause)\n", ckpt.Path)
+			}
+		}
+		os.Exit(3)
 	}
 	fmt.Printf("backend %s: setup + %d iterations complete\n", b.Name(), *iters)
 	if cb != nil {
@@ -268,6 +326,22 @@ func chainSetup(path string, safe bool) (*chaincfg.Config, int, error) {
 		}
 	}
 	return cfg, depth, nil
+}
+
+// catchCrash executes fn, converting an injected crash fault (crash=rankN@E)
+// into a reportable value instead of a panic trace.
+func catchCrash(fn func()) (crash *faults.CrashError) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*faults.CrashError)
+			if !ok {
+				panic(r)
+			}
+			crash = c
+		}
+	}()
+	fn()
+	return nil
 }
 
 func machineByName(name string) (*machine.Machine, error) {

@@ -23,6 +23,7 @@ import (
 
 	"op2ca/internal/autotune"
 	"op2ca/internal/bench"
+	"op2ca/internal/checkpoint"
 	"op2ca/internal/cluster"
 	"op2ca/internal/faults"
 	"op2ca/internal/obs"
@@ -100,6 +101,10 @@ func main() {
 			"let the model-driven autotuner pick each chain's execution policy in the CA runs (results stay bit-identical; ablations keep their pinned configurations)")
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.05,seed=1 (see internal/faults); results stay bit-identical, virtual times include recovery")
+		ckptSpec = flag.String("checkpoint", "",
+			"periodic snapshots, e.g. every=1,path=ck.bin: each measured run checkpoints its backend after every N measured iterations (atomic overwrite of the same file)")
+		restorePath = flag.String("restore", "",
+			"resume from a checkpoint file a crashed invocation wrote: the matching run restores mid-measurement, all others re-execute deterministically")
 	)
 	flag.Parse()
 
@@ -136,6 +141,21 @@ func main() {
 	}
 	cfg.Faults = plan
 	cfg.AutoTune = *autoTune
+	if *ckptSpec != "" {
+		spec, err := checkpoint.ParseSpec(*ckptSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.CheckpointEvery = spec.Every
+		cfg.CheckpointPath = spec.Path
+	}
+	if *restorePath != "" {
+		st, err := checkpoint.ReadFile(*restorePath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Resume = st
+	}
 
 	// The metrics file accumulates every run under a distinct run label;
 	// HELP/TYPE lines are deduplicated so the exposition stays valid.
@@ -225,7 +245,18 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		table := run(cfg)
+		table, crash := runRecovering(run, cfg)
+		if crash != nil {
+			fmt.Fprintf(os.Stderr, "op2ca-bench: injected crash of rank %d at exchange %d during %q\n",
+				crash.Rank, crash.Exchange, name)
+			if cfg.CheckpointPath != "" {
+				if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+					fmt.Fprintf(os.Stderr, "op2ca-bench: resume with -restore %s (drop the crash= clause)\n",
+						cfg.CheckpointPath)
+				}
+			}
+			os.Exit(3)
+		}
 		elapsed := time.Since(start).Seconds()
 		if *csv {
 			emit(fmt.Sprintf("# %s\n%s\n", table.Title, table.CSV()))
@@ -284,6 +315,23 @@ func main() {
 		}
 		fmt.Printf("json: results written to %s\n", *jsonPath)
 	}
+}
+
+// runRecovering executes one experiment, converting an injected crash fault
+// (the crash=rankN@E grammar) into a reportable value instead of a panic
+// trace, so main can point at the last checkpoint and exit with a distinct
+// status.
+func runRecovering(run func(bench.Config) *bench.Table, cfg bench.Config) (t *bench.Table, crash *faults.CrashError) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*faults.CrashError)
+			if !ok {
+				panic(r)
+			}
+			crash = c
+		}
+	}()
+	return run(cfg), nil
 }
 
 func fatal(err error) {

@@ -20,8 +20,8 @@ import (
 
 // Sample is one measured (bytes, seconds) observation.
 type Sample struct {
-	Bytes   float64
-	Seconds float64
+	Bytes   float64 `json:"bytes"`
+	Seconds float64 `json:"seconds"`
 }
 
 // loopSample is one measured loop execution together with the Equation (1)
@@ -42,6 +42,11 @@ type Calibrator struct {
 	// the network L and this correction restores Λ. Priors already hold Λ
 	// and need no correction.
 	ExtraLatency float64
+	// EagerThreshold is the machine's eager/rendezvous switch in bytes.
+	// Samples above it paid the rendezvous handshake (two extra network
+	// latencies), so the fit must not absorb that step into the bandwidth
+	// slope; see fitNet. Zero means no protocol switch.
+	EagerThreshold float64
 
 	exch  []Sample
 	pack  []Sample
@@ -101,6 +106,12 @@ type Calib struct {
 	// PackRate converts grouped-message bytes into Equation (3)'s pack
 	// cost c = m/PackRate.
 	PackRate float64 `json:"pack_rate_bytes_per_second"`
+	// EagerThreshold and Handshake carry the eager/rendezvous protocol
+	// switch into the model network (model.Net.MsgTime): messages above
+	// the threshold cost Handshake extra. A fit recovers Handshake as two
+	// fitted network latencies; priors hold the machine values.
+	EagerThreshold float64 `json:"eager_threshold_bytes"`
+	Handshake      float64 `json:"handshake_seconds"`
 	// G maps loop kernel name to the fitted per-iteration cost g_l (s).
 	G map[string]float64 `json:"g_seconds"`
 
@@ -118,7 +129,7 @@ type Calib struct {
 // grouped payload the receiver must unpack (Equation (3)'s c term), zero
 // for ungrouped or OP2 execution.
 func (c Calib) Net(packBytes float64) model.Net {
-	n := model.Net{L: c.L, B: c.B}
+	n := model.Net{L: c.L, B: c.B, EagerThreshold: c.EagerThreshold, Handshake: c.Handshake}
 	if packBytes > 0 && c.PackRate > 0 {
 		n.C = packBytes / c.PackRate
 	}
@@ -164,9 +175,13 @@ func (c *Calibrator) Fit(prior Calib) Calib {
 	out.PackSamples = len(c.pack)
 	_, _, out.LoopSamples = c.Samples()
 
-	if l, b, ok := fitLine(c.exch); ok {
+	if l, b, ok := fitNet(c.exch, c.EagerThreshold); ok {
 		out.L = l + c.ExtraLatency
 		out.B = b
+		out.EagerThreshold = c.EagerThreshold
+		// The rendezvous surcharge is two network latencies; the fitted l
+		// is the network leg (ExtraLatency excluded by construction).
+		out.Handshake = 2 * l
 		out.NetMeasured = true
 	}
 	if r, ok := fitRate(c.pack); ok {
@@ -179,41 +194,60 @@ func (c *Calibrator) Fit(prior Calib) Calib {
 		out.G[k] = v
 	}
 	for _, name := range c.order {
-		if g, ok := solveG(c.loops[name], model.Net{L: out.L, B: out.B}); ok {
+		if g, ok := solveG(c.loops[name], model.Net{
+			L: out.L, B: out.B,
+			EagerThreshold: out.EagerThreshold, Handshake: out.Handshake,
+		}); ok {
 			out.G[name] = g
 		}
 	}
 	return out
 }
 
-// fitLine fits t = L + bytes/B by ordinary least squares. It refuses the
-// fit (ok=false) when fewer than two distinct message sizes were observed
-// or the fitted slope is non-positive, and clamps a slightly negative
-// intercept to zero (small-sample noise; a negative latency would fail
-// model validation).
-func fitLine(s []Sample) (l, b float64, ok bool) {
+// fitNet fits the protocol-aware message cost t = L·h + bytes/B by exact
+// least squares, where h counts the latencies a message pays: 1 below the
+// eager threshold, 3 above it (L plus the two-latency rendezvous
+// handshake). Fitting both regimes with one line would absorb the 2L step
+// into the bandwidth slope as size-dependent bias; regressing on h keeps
+// the step where it belongs. With threshold 0 (or samples on one side
+// only) h is constant and the fit reduces exactly to the ordinary
+// intercept+slope regression. It refuses the fit (ok=false) when fewer
+// than two samples, a single distinct message size, or a non-positive
+// slope leave the parameters unidentifiable, and clamps a slightly
+// negative latency to zero (small-sample noise; a negative latency would
+// fail model validation).
+func fitNet(s []Sample, eagerThreshold float64) (l, b float64, ok bool) {
 	if len(s) < 2 {
 		return 0, 0, false
 	}
-	var mx, mt float64
+	// Normal equations for t = l·h + σ·m with σ = 1/B:
+	//   Shh·l + Shm·σ = Sht
+	//   Shm·l + Smm·σ = Smt
+	var shh, shm, smm, sht, smt float64
 	for _, p := range s {
-		mx += p.Bytes
-		mt += p.Seconds
+		h := 1.0
+		if eagerThreshold > 0 && p.Bytes > eagerThreshold {
+			h = 3
+		}
+		shh += h * h
+		shm += h * p.Bytes
+		smm += p.Bytes * p.Bytes
+		sht += h * p.Seconds
+		smt += p.Bytes * p.Seconds
 	}
-	n := float64(len(s))
-	mx /= n
-	mt /= n
-	var sxx, sxt float64
-	for _, p := range s {
-		dx := p.Bytes - mx
-		sxx += dx * dx
-		sxt += dx * (p.Seconds - mt)
-	}
-	if sxx == 0 || sxt <= 0 {
+	det := shh*smm - shm*shm
+	// det == 0 iff all (h, m) pairs are proportional — in the constant-h
+	// case, iff every message has the same size. Guard with a relative
+	// tolerance so near-singular systems don't launder rounding noise
+	// into parameters.
+	if det <= 1e-12*shh*smm {
 		return 0, 0, false
 	}
-	slope := sxt / sxx
-	l = mt - slope*mx
+	slope := (shh*smt - shm*sht) / det
+	if slope <= 0 {
+		return 0, 0, false
+	}
+	l = (sht*smm - shm*smt) / det
 	if l < 0 {
 		l = 0
 	}
@@ -244,7 +278,7 @@ func fitRate(s []Sample) (rate float64, ok bool) {
 
 // solveG inverts Equation (1) for g given a measured span T:
 //
-//	T = max(g·S^c, comm) + g·S^1, comm = 2·d·p·(L + m/B)
+//	T = max(g·S^c, comm) + g·S^1, comm = 2·d·p·MsgTime(m)
 //
 // T is monotone in g, so the solution is unique. Try the compute-bound
 // branch g = T/(S^c+S^1) first; if it is inconsistent (g·S^c < comm) the
@@ -256,7 +290,7 @@ func solveG(samples []loopSample, net model.Net) (float64, bool) {
 	var sum float64
 	n := 0
 	for _, s := range samples {
-		comm := 2 * s.p.NDats * s.p.Neighbours * (net.L + s.p.MsgBytes/net.B)
+		comm := 2 * s.p.NDats * s.p.Neighbours * net.MsgTime(s.p.MsgBytes)
 		total := s.p.CoreIters + s.p.HaloIters
 		if total <= 0 {
 			continue
@@ -288,4 +322,61 @@ func solveG(samples []loopSample, net model.Net) (float64, bool) {
 
 func isFinitePos(v float64) bool {
 	return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+}
+
+// LoopSample is one serialisable loop observation (CalibratorState).
+type LoopSample struct {
+	Params  model.LoopParams `json:"params"`
+	Seconds float64          `json:"seconds"`
+}
+
+// LoopSamples groups one loop's observations under its kernel name.
+type LoopSamples struct {
+	Name    string       `json:"name"`
+	Samples []LoopSample `json:"samples"`
+}
+
+// CalibratorState is the complete serialisable content of a Calibrator,
+// used by checkpoint/restart: restoring it and continuing to feed the
+// calibrator yields the same Fit as an uninterrupted run.
+type CalibratorState struct {
+	ExtraLatency   float64       `json:"extra_latency_seconds"`
+	EagerThreshold float64       `json:"eager_threshold_bytes"`
+	Exchanges      []Sample      `json:"exchanges,omitempty"`
+	Packs          []Sample      `json:"packs,omitempty"`
+	Loops          []LoopSamples `json:"loops,omitempty"`
+}
+
+// State snapshots the calibrator. Loops appear in first-seen order, so the
+// snapshot is deterministic for a deterministic run.
+func (c *Calibrator) State() CalibratorState {
+	s := CalibratorState{
+		ExtraLatency:   c.ExtraLatency,
+		EagerThreshold: c.EagerThreshold,
+		Exchanges:      append([]Sample(nil), c.exch...),
+		Packs:          append([]Sample(nil), c.pack...),
+	}
+	for _, name := range c.order {
+		ls := LoopSamples{Name: name}
+		for _, smp := range c.loops[name] {
+			ls.Samples = append(ls.Samples, LoopSample{Params: smp.p, Seconds: smp.seconds})
+		}
+		s.Loops = append(s.Loops, ls)
+	}
+	return s
+}
+
+// NewCalibratorFromState rebuilds a calibrator from a snapshot.
+func NewCalibratorFromState(s CalibratorState) *Calibrator {
+	c := NewCalibrator()
+	c.ExtraLatency = s.ExtraLatency
+	c.EagerThreshold = s.EagerThreshold
+	c.exch = append(c.exch, s.Exchanges...)
+	c.pack = append(c.pack, s.Packs...)
+	for _, ls := range s.Loops {
+		for _, smp := range ls.Samples {
+			c.AddLoop(ls.Name, smp.Params, smp.Seconds)
+		}
+	}
+	return c
 }

@@ -209,3 +209,84 @@ func TestCalibNetAndString(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+// TestFitProtocolAware feeds noiseless samples straddling the eager
+// threshold, obeying t = L·h + m/B with h = 1 (eager) or 3 (rendezvous:
+// one latency plus the two-latency handshake). The protocol-aware fit must
+// recover L, B and Handshake = 2L exactly, and must beat a single-line fit
+// over the same data, which absorbs the 2L step into its parameters.
+func TestFitProtocolAware(t *testing.T) {
+	const (
+		L   = 8e-6
+		B   = 5e8
+		thr = 65536.0
+	)
+	sizes := []int64{1024, 8192, 32768, 65536, 131072, 524288, 1 << 21}
+	span := func(bytes int64) float64 {
+		h := 1.0
+		if float64(bytes) > thr {
+			h = 3
+		}
+		return L*h + float64(bytes)/B
+	}
+	c := NewCalibrator()
+	c.EagerThreshold = thr
+	for _, bytes := range sizes {
+		c.AddExchange(bytes, span(bytes))
+	}
+	cal := c.Fit(Calib{L: 1, B: 1, PackRate: 1})
+	if !cal.NetMeasured {
+		t.Fatal("samples straddling the threshold must identify the network")
+	}
+	approx(t, "L", cal.L, L, 1e-9)
+	approx(t, "B", cal.B, B, 1e-9)
+	approx(t, "Handshake", cal.Handshake, 2*L, 1e-9)
+	if cal.EagerThreshold != thr {
+		t.Errorf("EagerThreshold = %g, want %g", cal.EagerThreshold, thr)
+	}
+
+	// The old single-line fit (threshold ignored) over the same data: its
+	// recovered parameters mispredict the samples, while the protocol-aware
+	// fit reproduces them exactly.
+	naive := NewCalibrator()
+	for _, bytes := range sizes {
+		naive.AddExchange(bytes, span(bytes))
+	}
+	ncal := naive.Fit(Calib{L: 1, B: 1, PackRate: 1})
+	if !ncal.NetMeasured {
+		t.Fatal("naive fit refused")
+	}
+	var errAware, errNaive float64
+	for _, bytes := range sizes {
+		m := float64(bytes)
+		errAware += math.Abs(cal.Net(0).MsgTime(m) - span(bytes))
+		// The naive fit has no protocol term: its prediction is L + m/B.
+		errNaive += math.Abs(ncal.L + m/ncal.B - span(bytes))
+	}
+	if errAware >= errNaive {
+		t.Errorf("protocol-aware fit error %g >= naive fit error %g", errAware, errNaive)
+	}
+	if errAware > 1e-12 {
+		t.Errorf("protocol-aware fit should reproduce noiseless samples exactly, error %g", errAware)
+	}
+}
+
+// TestFitEagerOnlyReducesToLine: with every sample below the threshold h is
+// constant, so the protocol-aware regression must coincide with the plain
+// intercept+slope fit (and still report the two-latency handshake for any
+// future rendezvous message).
+func TestFitEagerOnlyReducesToLine(t *testing.T) {
+	const L, B, thr = 8e-6, 5e8, 65536.0
+	c := NewCalibrator()
+	c.EagerThreshold = thr
+	for _, bytes := range []int64{512, 1024, 4096, 16384} {
+		c.AddExchange(bytes, L+float64(bytes)/B)
+	}
+	cal := c.Fit(Calib{L: 1, B: 1, PackRate: 1})
+	if !cal.NetMeasured {
+		t.Fatal("four distinct sizes must identify the network")
+	}
+	approx(t, "L", cal.L, L, 1e-9)
+	approx(t, "B", cal.B, B, 1e-9)
+	approx(t, "Handshake", cal.Handshake, 2*L, 1e-9)
+}

@@ -30,19 +30,26 @@ func (c Config) runSyntheticOnce(cfg cluster.Config, h *mesh.Hierarchy, nchains 
 	cfg.Primary = app.Primary
 	cfg.Tracer = c.Tracer
 	cfg.Faults = c.Faults
-	b, err := cluster.New(cfg)
-	if err != nil {
-		panic("bench: " + err.Error())
+	label := fmt.Sprintf("synthetic ca=%v depth=%d grouped=%v loops=%d ranks=%d",
+		cfg.CA, cfg.Depth, !cfg.NoGroupedMsgs, 2*nchains, cfg.NParts)
+	var rctx synResumeCtx
+	b, start := c.resume(label, cfg, &rctx)
+	if b == nil {
+		var err error
+		b, err = cluster.New(cfg)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		app.Init(b)
+		syn.Run(b, nchains, chained) // warm-up
+		rctx.T0 = b.MaxClock()
 	}
-	app.Init(b)
-	syn.Run(b, nchains, chained) // warm-up
-	t0 := b.MaxClock()
-	for it := 0; it < c.Iters; it++ {
+	for it := start; it < c.Iters; it++ {
 		syn.Run(b, nchains, chained)
+		c.tick(b, label, it+1, rctx)
 	}
-	c.observe(fmt.Sprintf("synthetic ca=%v depth=%d grouped=%v loops=%d ranks=%d",
-		cfg.CA, cfg.Depth, !cfg.NoGroupedMsgs, 2*nchains, cfg.NParts), b)
-	return (b.MaxClock() - t0) / float64(c.Iters)
+	c.observe(label, b)
+	return (b.MaxClock() - rctx.T0) / float64(c.Iters)
 }
 
 // AblationDepth sweeps the configured halo extension of the synthetic chain

@@ -21,6 +21,7 @@ import (
 	"math"
 	"strings"
 
+	"op2ca/internal/checkpoint"
 	"op2ca/internal/cluster"
 	"op2ca/internal/faults"
 	"op2ca/internal/machine"
@@ -59,6 +60,17 @@ type Config struct {
 	// deliberately excluded: they study pinned static knobs (fixed depth,
 	// grouping, partitioner, GPUDirect) that the tuner would override.
 	AutoTune bool
+	// CheckpointEvery and CheckpointPath, when both set, snapshot each
+	// measured run's backend to CheckpointPath after every CheckpointEvery
+	// measured iterations (the -checkpoint flag); the file is overwritten
+	// atomically, so a crash always finds the most recent complete snapshot.
+	CheckpointEvery int
+	CheckpointPath  string
+	// Resume, when non-nil, is a snapshot a previous (crashed) invocation
+	// wrote: the run whose label matches the snapshot's resume point
+	// restores mid-measurement, all other runs re-execute deterministically,
+	// and the invocation's final checksums equal an uninterrupted run's.
+	Resume *checkpoint.State
 }
 
 // observe invokes the Observe hook if one is configured.

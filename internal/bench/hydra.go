@@ -41,28 +41,47 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 
 	pt := hydraPoint{ranks: ranks, op2: map[string]hydraMeas{}, cab: map[string]hydraMeas{}}
 	for _, caMode := range []bool{false, true} {
+		mode := "op2"
+		if caMode {
+			mode = "ca"
+		}
+		label := fmt.Sprintf("hydra %s mesh=%d paper-nodes=%d ranks=%d (%s)",
+			mode, meshNodes, paperNodes, ranks, mach.Name)
 		app := hydra.New(m)
-		b, err := cluster.New(cluster.Config{
+		ccfg := cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 6, CA: caMode, Chains: hydra.MustPaperConfig(),
 			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer, Faults: c.Faults,
 			AutoTune: c.AutoTune && caMode,
-		})
-		if err != nil {
-			panic("bench: " + err.Error())
 		}
-		// Setup chains (weight, period) execute once; measure them
-		// cumulatively. Per-iteration chains are measured after a warm-up
-		// iteration, so first-execution clean halos do not skew the
-		// communication counters.
-		app.RunSetup(b, true)
-		app.RunIteration(b, true) // warm-up
+		var rctx hydraResumeCtx
+		b, start := c.resume(label, ccfg, &rctx)
 		before := map[string]hydraMeas{}
-		for _, name := range hydra.ChainNames() {
-			before[name] = rawChain(b, name)
+		if b == nil {
+			var err error
+			b, err = cluster.New(ccfg)
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			// Setup chains (weight, period) execute once; measure them
+			// cumulatively. Per-iteration chains are measured after a warm-up
+			// iteration, so first-execution clean halos do not skew the
+			// communication counters.
+			app.RunSetup(b, true)
+			app.RunIteration(b, true) // warm-up
+			rctx.Before = map[string]hydraMeasJSON{}
+			for _, name := range hydra.ChainNames() {
+				before[name] = rawChain(b, name)
+				rctx.Before[name] = measJSONOf(before[name])
+			}
+		} else {
+			for name, mj := range rctx.Before {
+				before[name] = mj.meas()
+			}
 		}
-		for it := 0; it < c.Iters; it++ {
+		for it := start; it < c.Iters; it++ {
 			app.RunIteration(b, true)
+			c.tick(b, label, it+1, rctx)
 		}
 		dst := pt.op2
 		if caMode {
@@ -85,12 +104,7 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 			}
 			dst[name] = normalise(delta, execs, ranks)
 		}
-		mode := "op2"
-		if caMode {
-			mode = "ca"
-		}
-		c.observe(fmt.Sprintf("hydra %s mesh=%d paper-nodes=%d ranks=%d (%s)",
-			mode, meshNodes, paperNodes, ranks, mach.Name), b)
+		c.observe(label, b)
 	}
 	return pt
 }

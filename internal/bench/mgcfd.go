@@ -75,28 +75,41 @@ func (c Config) runMGPoint(meshNodes, paperNodes, nchains int, mach *machine.Mac
 	var pt mgPoint
 	pt.ranks = ranks
 	for _, caMode := range []bool{false, true} {
+		mode := "op2"
+		if caMode {
+			mode = "ca"
+		}
+		label := fmt.Sprintf("mgcfd %s mesh=%d paper-nodes=%d loops=%d ranks=%d",
+			mode, meshNodes, paperNodes, 2*nchains, ranks)
 		app := mgcfd.New(h)
 		syn := mgcfd.NewSynthetic(app)
-		b, err := cluster.New(cluster.Config{
+		ccfg := cluster.Config{
 			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 2 * nchains, CA: caMode,
 			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer, Faults: c.Faults,
 			AutoTune: c.AutoTune && caMode,
-		})
-		if err != nil {
-			panic("bench: " + err.Error())
 		}
-		app.Init(b)
-		// Warm-up (dirties halos, amortises nothing else); excluded from
-		// the measurement like the paper's inspection phase.
-		syn.Run(b, nchains, caMode)
-		app.Cycle(b)
-
-		before := snapshotMG(b)
-		t0 := b.MaxClock()
-		for it := 0; it < c.Iters; it++ {
+		var rctx mgResumeCtx
+		b, start := c.resume(label, ccfg, &rctx)
+		if b == nil {
+			var err error
+			b, err = cluster.New(ccfg)
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			app.Init(b)
+			// Warm-up (dirties halos, amortises nothing else); excluded from
+			// the measurement like the paper's inspection phase.
 			syn.Run(b, nchains, caMode)
 			app.Cycle(b)
+			rctx = mgCtxOf(b.MaxClock(), snapshotMG(b))
+		}
+		before := rctx.snapshot()
+		t0 := rctx.T0
+		for it := start; it < c.Iters; it++ {
+			syn.Run(b, nchains, caMode)
+			app.Cycle(b)
+			c.tick(b, label, it+1, rctx)
 		}
 		elapsed := (b.MaxClock() - t0) / float64(c.Iters)
 		after := snapshotMG(b)
@@ -118,12 +131,7 @@ func (c Config) runMGPoint(meshNodes, paperNodes, nchains int, mach *machine.Mac
 			pt.op2Core = float64(after.loopCore-before.loopCore) / perRank
 			pt.op2Halo = float64(after.loopHalo-before.loopHalo) / perRank
 		}
-		mode := "op2"
-		if caMode {
-			mode = "ca"
-		}
-		c.observe(fmt.Sprintf("mgcfd %s mesh=%d paper-nodes=%d loops=%d ranks=%d",
-			mode, meshNodes, paperNodes, 2*nchains, ranks), b)
+		c.observe(label, b)
 	}
 	return pt
 }

@@ -1,0 +1,284 @@
+// Package checkpoint defines the on-disk snapshot format of the simulated
+// runtime's complete backend state, for checkpoint/restart: per-rank dat
+// values, the halo-validity state, virtual clocks, the fault/exchange
+// sequence counter, and an opaque backend-defined continuation blob (stats,
+// plan-cache fingerprints, autotuner state). The container is versioned and
+// integrity-checked, so a truncated or bit-flipped file is rejected rather
+// than silently resumed from.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  content
+//	0       8     magic "OP2CACKP"
+//	8       4     format version (uint32, currently 1)
+//	12      ...   sections, each length-prefixed (uint64 count/len):
+//	              fingerprint JSON, note, faultSeq (uint64), clocks
+//	              ([]float64 bit patterns), validity (exec/nonexec int64
+//	              pairs per dat), dats ([rank][dat][]float64), meta JSON
+//	end-8   8     FNV-1a 64-bit checksum of every preceding byte
+//
+// Float64 values are stored as their IEEE-754 bit patterns, so a snapshot
+// restores the exact values — the restore invariant (resumed run bitwise
+// identical to the uninterrupted one) depends on it.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+const magic = "OP2CACKP"
+
+// Version is the current container format version. Decode rejects files
+// written by other versions: state layout is coupled to the runtime, and a
+// cross-version resume would violate the restore invariant silently.
+const Version = 1
+
+// maxSectionLen bounds any single length prefix, so a corrupt header cannot
+// drive a multi-terabyte allocation before the checksum is verified.
+const maxSectionLen = 1 << 38
+
+// State is one complete backend snapshot.
+type State struct {
+	// Fingerprint is the canonical JSON of the producing configuration's
+	// shape (see cluster's configFingerprint). Restore refuses a snapshot
+	// whose fingerprint does not match the restoring configuration: the
+	// restore invariant only holds for a process-equivalent backend.
+	Fingerprint []byte
+	// Note is caller-defined resume context (e.g. the iteration number or
+	// a benchmark resume point), opaque to this package.
+	Note string
+	// FaultSeq is the exchange sequence counter keying deterministic fault
+	// decisions; restoring it keeps the resumed run's fault schedule
+	// aligned with the uninterrupted one.
+	FaultSeq uint64
+	// Clocks are the per-rank virtual clocks.
+	Clocks []float64
+	// ValidExec and ValidNonexec are the per-dat halo validity depths.
+	ValidExec    []int64
+	ValidNonexec []int64
+	// Dats holds every rank's local values per dat: Dats[rank][dat] is the
+	// rank's slab in layout order.
+	Dats [][][]float64
+	// Meta is a backend-defined JSON continuation blob (stats, plan-cache
+	// keys, autotuner state), opaque to this package.
+	Meta []byte
+}
+
+// errWriter folds the first write error, so Encode reads as straight-line
+// code; count totals bytes written.
+type errWriter struct {
+	w     io.Writer
+	err   error
+	count int64
+}
+
+func (e *errWriter) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	n, err := e.w.Write(p)
+	e.count += int64(n)
+	e.err = err
+}
+
+func (e *errWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.write(b[:])
+}
+
+func (e *errWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.write(b[:])
+}
+
+func (e *errWriter) bytes(p []byte) {
+	e.u64(uint64(len(p)))
+	e.write(p)
+}
+
+func (e *errWriter) floats(f []float64) {
+	e.u64(uint64(len(f)))
+	buf := make([]byte, 8*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	e.write(buf)
+}
+
+// Encode writes the snapshot to w and returns the encoded size in bytes.
+// The trailing checksum covers every preceding byte.
+func Encode(w io.Writer, s *State) (int64, error) {
+	h := fnv.New64a()
+	ew := &errWriter{w: io.MultiWriter(w, h)}
+	ew.write([]byte(magic))
+	ew.u32(Version)
+	ew.bytes(s.Fingerprint)
+	ew.bytes([]byte(s.Note))
+	ew.u64(s.FaultSeq)
+	ew.floats(s.Clocks)
+	if len(s.ValidExec) != len(s.ValidNonexec) {
+		return ew.count, fmt.Errorf("checkpoint: validity slices disagree: %d exec vs %d nonexec",
+			len(s.ValidExec), len(s.ValidNonexec))
+	}
+	ew.u64(uint64(len(s.ValidExec)))
+	for i := range s.ValidExec {
+		ew.u64(uint64(s.ValidExec[i]))
+		ew.u64(uint64(s.ValidNonexec[i]))
+	}
+	ew.u64(uint64(len(s.Dats)))
+	for _, rank := range s.Dats {
+		ew.u64(uint64(len(rank)))
+		for _, dat := range rank {
+			ew.floats(dat)
+		}
+	}
+	ew.bytes(s.Meta)
+	if ew.err != nil {
+		return ew.count, fmt.Errorf("checkpoint: encode: %w", ew.err)
+	}
+	sum := h.Sum64()
+	// The checksum itself is written to w alone (it cannot cover itself).
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], sum)
+	n, err := w.Write(b[:])
+	total := ew.count + int64(n)
+	if err != nil {
+		return total, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return total, nil
+}
+
+// errReader mirrors errWriter for decoding, hashing every byte it reads.
+type errReader struct {
+	r   io.Reader
+	h   hash.Hash64
+	err error
+}
+
+func (e *errReader) read(p []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(e.r, p); err != nil {
+		e.err = err
+		return
+	}
+	e.h.Write(p)
+}
+
+func (e *errReader) u64() uint64 {
+	var b [8]byte
+	e.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (e *errReader) u32() uint32 {
+	var b [4]byte
+	e.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (e *errReader) len() int {
+	n := e.u64()
+	if e.err == nil && n > maxSectionLen {
+		e.err = fmt.Errorf("section length %d exceeds limit", n)
+	}
+	return int(n)
+}
+
+func (e *errReader) bytes() []byte {
+	n := e.len()
+	if e.err != nil {
+		return nil
+	}
+	p := make([]byte, n)
+	e.read(p)
+	return p
+}
+
+func (e *errReader) floats() []float64 {
+	n := e.len()
+	if e.err != nil {
+		return nil
+	}
+	buf := make([]byte, 8*n)
+	e.read(buf)
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return f
+}
+
+// Decode reads one snapshot, verifying magic, version and checksum.
+func Decode(r io.Reader) (*State, error) {
+	er := &errReader{r: r, h: fnv.New64a()}
+	var m [len(magic)]byte
+	er.read(m[:])
+	if er.err == nil && string(m[:]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (not a checkpoint file)", m[:])
+	}
+	if v := er.u32(); er.err == nil && v != Version {
+		return nil, fmt.Errorf("checkpoint: format version %d, this build reads %d", v, Version)
+	}
+	s := &State{}
+	s.Fingerprint = er.bytes()
+	s.Note = string(er.bytes())
+	s.FaultSeq = er.u64()
+	s.Clocks = er.floats()
+	nValid := er.len()
+	if er.err == nil {
+		s.ValidExec = make([]int64, nValid)
+		s.ValidNonexec = make([]int64, nValid)
+		for i := 0; i < nValid; i++ {
+			s.ValidExec[i] = int64(er.u64())
+			s.ValidNonexec[i] = int64(er.u64())
+		}
+	}
+	nRanks := er.len()
+	if er.err == nil {
+		s.Dats = make([][][]float64, nRanks)
+		for r := range s.Dats {
+			nDats := er.len()
+			if er.err != nil {
+				break
+			}
+			s.Dats[r] = make([][]float64, nDats)
+			for d := range s.Dats[r] {
+				s.Dats[r][d] = er.floats()
+			}
+		}
+	}
+	s.Meta = er.bytes()
+	if er.err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", er.err)
+	}
+	want := er.h.Sum64()
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(b[:]); got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch: file %#x, content %#x (truncated or corrupt)", got, want)
+	}
+	return s, nil
+}
+
+// MarshalFingerprint renders any JSON-encodable fingerprint value in
+// canonical form (encoding/json sorts map keys, so equal values produce
+// equal bytes).
+func MarshalFingerprint(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: fingerprint: %w", err)
+	}
+	return b, nil
+}

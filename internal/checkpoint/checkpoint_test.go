@@ -1,0 +1,113 @@
+package checkpoint
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleState() *State {
+	return &State{
+		Fingerprint:  []byte(`{"depth":2}`),
+		Note:         "iter=3",
+		FaultSeq:     41,
+		Clocks:       []float64{0.25, 1.0 / 3.0, math.Pi},
+		ValidExec:    []int64{2, 0, -1},
+		ValidNonexec: []int64{2, 1, 0},
+		Dats: [][][]float64{
+			{{1, 2, 3}, {}},
+			{{-0.5, 1e-300}, {4}},
+		},
+		Meta: []byte(`{"stats":null}`),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleState()
+	var buf bytes.Buffer
+	n, err := Encode(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("Encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Decode(bytes.NewReader(flipped)); err == nil {
+		t.Error("bit flip not detected")
+	}
+
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncation not detected")
+	}
+
+	bad := append([]byte("NOTACKPT"), raw[8:]...)
+	if _, err := Decode(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic = %v, want magic error", err)
+	}
+
+	wrongVer := append([]byte(nil), raw...)
+	wrongVer[8] = 99
+	if _, err := Decode(bytes.NewReader(wrongVer)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version = %v, want version error", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("every=5,path=ck.bin")
+	if err != nil || spec.Every != 5 || spec.Path != "ck.bin" {
+		t.Fatalf("ParseSpec = %+v, %v", spec, err)
+	}
+	if spec, err = ParseSpec("path=x, every=1"); err != nil || spec.Every != 1 || spec.Path != "x" {
+		t.Fatalf("order/space variant = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", "every=5", "path=x", "every=0,path=x", "every=a,path=x", "bogus=1", "every"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAtomicWriteAndReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	s := sampleState()
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := Encode(w, s)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temporary file left behind")
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Error("file round trip diverged")
+	}
+}

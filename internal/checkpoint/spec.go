@@ -1,0 +1,82 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Spec is the parsed form of the -checkpoint command-line flag:
+// "every=N,path=P" requests a snapshot to P after every N measured
+// iterations. The same file is overwritten each time (atomically), so a
+// crash always finds the most recent complete snapshot.
+type Spec struct {
+	Every int
+	Path  string
+}
+
+// Enabled reports whether the spec requests periodic snapshots.
+func (s Spec) Enabled() bool { return s.Every > 0 && s.Path != "" }
+
+// ParseSpec parses "every=N,path=P" (both keys required, any order).
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("checkpoint spec: %q is not key=value", field)
+		}
+		switch key {
+		case "every":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Spec{}, fmt.Errorf("checkpoint spec: every=%q must be a positive integer", val)
+			}
+			spec.Every = n
+		case "path":
+			if val == "" {
+				return Spec{}, fmt.Errorf("checkpoint spec: path must not be empty")
+			}
+			spec.Path = val
+		default:
+			return Spec{}, fmt.Errorf("checkpoint spec: unknown key %q (want every, path)", key)
+		}
+	}
+	if !spec.Enabled() {
+		return Spec{}, fmt.Errorf("checkpoint spec: both every=N and path=P are required")
+	}
+	return spec, nil
+}
+
+// AtomicWriteFile writes a snapshot produced by write to path via a
+// temporary file and rename, so a crash mid-write never leaves a truncated
+// checkpoint where a complete one stood.
+func AtomicWriteFile(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile decodes the snapshot stored at path.
+func ReadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -136,6 +136,7 @@ func (b *Backend) tuneFor(name string, loops []core.Loop, cfgChain *chaincfg.Cha
 		dirty: map[int]bool{},
 	}
 	m := b.cfg.Machine
+	ct.cal.EagerThreshold = float64(m.EagerThreshold)
 	if m.GPU != nil && !b.cfg.GPUDirect {
 		// Measured message spans cover the network leg alone; the model
 		// prices staged exchanges with the enlarged latency Λ.
@@ -220,10 +221,12 @@ func (b *Backend) runTuned(ct *chainTune, name string, loops []core.Loop, cfgCha
 func (b *Backend) tuneDecide(ct *chainTune, name string, loops []core.Loop, cfgChain *chaincfg.Chain) {
 	m := b.cfg.Machine
 	prior := autotune.Calib{
-		L:        b.modelNet(0).L,
-		B:        m.Bandwidth,
-		PackRate: m.PackRate,
-		G:        make(map[string]float64, len(loops)),
+		L:              b.modelNet(0).L,
+		B:              m.Bandwidth,
+		PackRate:       m.PackRate,
+		EagerThreshold: float64(m.EagerThreshold),
+		Handshake:      2 * m.Latency,
+		G:              make(map[string]float64, len(loops)),
 	}
 	for _, l := range loops {
 		prior.G[l.Kernel.Name] = m.IterTime(l.Kernel)
@@ -254,9 +257,15 @@ func (b *Backend) tuneDecide(ct *chainTune, name string, loops []core.Loop, cfgC
 		d.Measured = prev.Measured
 		if prev.ChosenPolicy.CA && !prev.ChosenPolicy.Equal(d.ChosenPolicy) {
 			// The superseded policy's plan (and its exchange schedules)
-			// will not be replayed; drop it from the cache.
-			if e, ok := b.plans[planKey{chain: name, sig: ca.ChainSignature(loops, prev.ChosenPolicy.HE)}]; ok {
+			// will not be replayed; drop it from the cache. A warm
+			// (checkpoint-restored, not yet rebuilt) entry counts the same
+			// invalidation the uninterrupted run would have.
+			key := planKey{chain: name, sig: ca.ChainSignature(loops, prev.ChosenPolicy.HE)}
+			if e, ok := b.plans[key]; ok {
 				b.invalidatePlan(e)
+			} else if b.warmPlans[key] {
+				delete(b.warmPlans, key)
+				b.planInvalidations++
 			}
 		}
 	}

@@ -149,6 +149,15 @@ type Backend struct {
 	retryTimeout float64
 	retryBackoff float64
 	faultSeq     uint64
+	// crashArmed gates the fault plan's crash clause: true on a freshly
+	// constructed backend whose plan carries one, false after Restore — a
+	// restored run resumes from before the crash point and must not die
+	// there again (the real-world analogue: the failed node was replaced).
+	crashArmed bool
+	// warmPlans records plan-cache keys restored from a checkpoint whose
+	// entries must be rebuilt on first use but accounted as cache hits,
+	// so PlanCacheStats continue exactly as in the uninterrupted run.
+	warmPlans map[planKey]bool
 }
 
 // recording buffers the loops of an open chain.
@@ -190,6 +199,19 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.MaxRetries < 0 {
 		return nil, fmt.Errorf("cluster: MaxRetries %d < 0", cfg.MaxRetries)
 	}
+	if cfg.MaxRetries > maxRetryBudget {
+		return nil, fmt.Errorf("cluster: MaxRetries %d > %d (backoff would exceed any useful virtual time)", cfg.MaxRetries, maxRetryBudget)
+	}
+	if cfg.Faults != nil && cfg.Faults.MaxRetries > maxRetryBudget {
+		return nil, fmt.Errorf("cluster: fault plan maxretries %d > %d", cfg.Faults.MaxRetries, maxRetryBudget)
+	}
+	if cfg.Chains != nil {
+		for _, name := range cfg.Chains.Order {
+			if c := cfg.Chains.Get(name); c != nil && c.MaxRetries > maxRetryBudget {
+				return nil, fmt.Errorf("cluster: chain %s maxretries %d > %d", c.Name, c.MaxRetries, maxRetryBudget)
+			}
+		}
+	}
 	if cfg.RetryTimeout < 0 || math.IsNaN(cfg.RetryTimeout) || math.IsInf(cfg.RetryTimeout, 0) {
 		return nil, fmt.Errorf("cluster: RetryTimeout %g must be a non-negative, finite time", cfg.RetryTimeout)
 	}
@@ -213,14 +235,16 @@ func New(cfg Config) (*Backend, error) {
 		cfg: cfg,
 		net: netsim.Network{Latency: cfg.Machine.Latency, Bandwidth: cfg.Machine.Bandwidth,
 			EagerThreshold: cfg.Machine.EagerThreshold},
-		owners:  owners,
-		layouts: halo.Build(cfg.Prog, owners, cfg.NParts, cfg.Depth, cfg.MaxChainLen),
-		dats:    make([][][]float64, cfg.NParts),
-		valid:   make([]validity, len(cfg.Prog.Dats)),
-		clock:   make([]float64, cfg.NParts),
-		stats:   newStats(),
-		plans:   map[planKey]*planEntry{},
-		tunes:   map[tuneKey]*chainTune{},
+		owners:     owners,
+		layouts:    halo.Build(cfg.Prog, owners, cfg.NParts, cfg.Depth, cfg.MaxChainLen),
+		dats:       make([][][]float64, cfg.NParts),
+		valid:      make([]validity, len(cfg.Prog.Dats)),
+		clock:      make([]float64, cfg.NParts),
+		stats:      newStats(),
+		plans:      map[planKey]*planEntry{},
+		tunes:      map[tuneKey]*chainTune{},
+		warmPlans:  map[planKey]bool{},
+		crashArmed: cfg.Faults.CrashAt() != nil,
 	}
 	if err := b.net.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: machine %s: %v", cfg.Machine.Name, err)

@@ -19,7 +19,12 @@ func (b *Backend) modelNet(c float64) model.Net {
 	if m.GPU != nil && !b.cfg.GPUDirect {
 		l = m.GPU.ExchangeLatency(m.Latency)
 	}
-	return model.Net{L: l, B: m.Bandwidth, C: c}
+	// The rendezvous handshake always costs two *network* latencies, even
+	// when L itself is the staged-exchange Λ (netsim charges 2·Latency).
+	return model.Net{
+		L: l, B: m.Bandwidth, C: c,
+		EagerThreshold: float64(m.EagerThreshold), Handshake: 2 * m.Latency,
+	}
 }
 
 // ModelReport renders the analytic model's Equation (1)/(3) predictions next

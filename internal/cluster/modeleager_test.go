@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"op2ca/internal/core"
+	"op2ca/internal/machine"
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+// TestModelEagerTermImprovesLargeMessages: on a CA chain whose grouped
+// messages exceed the MPI eager threshold, the network simulator charges
+// the two-latency rendezvous handshake per message, so the Equation (3)
+// prediction must carry the same term. The model's |predicted - measured|
+// error must be strictly smaller than what the old model — which priced
+// every message as eager — would have produced on the same run.
+func TestModelEagerTermImprovesLargeMessages(t *testing.T) {
+	const (
+		dim   = 1024 // 8 KiB per node: any halo beyond 8 nodes crosses the 64 KiB eager limit
+		iters = 6
+	)
+	m := mesh.Rotor(6, 5, 4)
+	p := core.NewProgram()
+	nodes := p.DeclSet(m.NNodes, "nodes")
+	edges := p.DeclSet(m.NEdges, "edges")
+	e2n := p.DeclMap(edges, nodes, 2, m.EdgeNodes, "e2n")
+	q := p.DeclDat(nodes, dim, nil, "q")
+	for i := range q.Data {
+		q.Data[i] = float64(i%5 - 2)
+	}
+	kern := &core.Kernel{Name: "k_eager", Fn: func(a [][]float64) {
+		a[0][0] += 0.25 * a[1][0]
+	}}
+	loop := core.NewLoop(kern, edges,
+		core.ArgDat(q, 0, e2n, core.Inc),
+		core.ArgDat(q, 1, e2n, core.Read))
+
+	mach := machine.ARCHER2()
+	b, err := New(Config{
+		Prog: p, Primary: nodes, Assign: partition.Block(m.NNodes, 2),
+		NParts: 2, Depth: 2, CA: true, Machine: mach,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		b.ChainBegin("big")
+		b.ParLoop(loop)
+		b.ParLoop(loop)
+		b.ChainEnd()
+	}
+
+	cs := b.Stats().Chains["big"]
+	if cs == nil {
+		t.Fatal("no stats recorded for chain big")
+	}
+	if cs.CAExecutions != iters {
+		t.Fatalf("chain fell back to per-loop execution: %d/%d CA", cs.CAExecutions, iters)
+	}
+	if cs.MaxMsgBytes <= mach.EagerThreshold {
+		t.Fatalf("workload too small: largest grouped message %d bytes <= eager threshold %d",
+			cs.MaxMsgBytes, mach.EagerThreshold)
+	}
+	if cs.MaxNeighbours != 1 || cs.Msgs%2 != 0 {
+		t.Fatalf("unexpected exchange shape: neighbours=%d msgs=%d", cs.MaxNeighbours, cs.Msgs)
+	}
+
+	// With two ranks each sending one grouped message per exchanged
+	// execution, Msgs/2 executions exchanged, and each contributed exactly
+	// p·Handshake = 1·2L to the Equation (3) prediction. The old model
+	// omitted that term, so it predicted the handshake total less.
+	handshake := 2 * mach.Latency
+	oldPredicted := cs.Predicted - float64(cs.Msgs/2)*handshake
+
+	errNew := math.Abs(cs.Predicted - cs.Time)
+	errOld := math.Abs(oldPredicted - cs.Time)
+	if errOld <= errNew {
+		t.Errorf("eager-term fix did not improve the model: |err| old %g <= new %g (measured %g, predicted %g)",
+			errOld, errNew, cs.Time, cs.Predicted)
+	}
+}

@@ -57,7 +57,21 @@ func (b *Backend) planEntry(name string, loops []core.Loop, overrides []int) *pl
 		b.planHits++
 		return e
 	}
+	if b.warmPlans[key] {
+		// Restored from a checkpoint: the uninterrupted run already held
+		// this entry, so the rebuild is accounted as a hit — plan-cache
+		// stats continue exactly where the snapshot left them. (Schedules
+		// are rebuilt lazily, exactly as the original entry built them.)
+		delete(b.warmPlans, key)
+		b.planHits++
+		return b.buildPlanEntry(key, name, loops, overrides)
+	}
 	b.planMisses++
+	return b.buildPlanEntry(key, name, loops, overrides)
+}
+
+// buildPlanEntry inspects the chain and caches the result under key.
+func (b *Backend) buildPlanEntry(key planKey, name string, loops []core.Loop, overrides []int) *planEntry {
 	e := &planEntry{key: key, schedules: map[string]*exchangeSchedule{}}
 	e.plan, e.err = ca.Inspect(name, loops, overrides)
 	if e.err == nil {

@@ -50,6 +50,13 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 	seq := b.faultSeq
 	b.faultSeq++
 	plan := b.cfg.Faults
+	// The crash fault fires before any message arithmetic: the process dies
+	// at a deterministic exchange sequence number, recoverable only by
+	// restarting from a checkpoint. Restored backends are disarmed — the
+	// resumed run replays the pre-crash exchanges without dying again.
+	if c := plan.CrashAt(); c != nil && b.crashArmed && seq == c.Exchange {
+		panic(&faults.CrashError{Rank: c.Rank, Exchange: c.Exchange})
+	}
 	if !plan.Enabled() {
 		arrivals := b.net.Deliver(post, msgs)
 		if ct := b.tuneSampling; ct != nil {
@@ -111,7 +118,7 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 			fs.Retries++
 			// Detection one timeout after the failed attempt, then the
 			// exponential backoff; the NIC sits idle until the retransmit.
-			next := arr + b.retryTimeout + b.retryBackoff*float64(int64(1)<<uint(try))
+			next := arr + b.retryTimeout + b.retryBackoff*backoffFactor(try)
 			if traced {
 				b.tracer.Emit(m.From, obs.TrackExec, obs.Retry, owner, arr, next, m.Bytes)
 			}
@@ -120,6 +127,24 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 		}
 	}
 	return d
+}
+
+// maxRetryBudget bounds every user-settable retransmission budget (Config,
+// fault-plan and per-chain maxretries). Well before 1000 retries the
+// exponential backoff dwarfs any simulated runtime; rejecting larger values
+// in cluster.New keeps the backoff arithmetic far from its try>=63
+// saturation point (see backoffFactor).
+const maxRetryBudget = 1000
+
+// backoffFactor is the exponential backoff multiplier 2^try, saturated at
+// 2^62: `int64(1) << try` overflows to a *negative* factor at try >= 63,
+// which would move the retransmission back in virtual time. maxretries= is
+// user-settable (chaincfg), so the boundary is reachable from config.
+func backoffFactor(try int) float64 {
+	if try >= 62 {
+		return float64(int64(1) << 62)
+	}
+	return float64(int64(1) << uint(try))
 }
 
 // maxRetriesFor resolves the per-message retransmission budget for one

@@ -111,6 +111,20 @@ func (s *FaultStats) Add(o FaultStats) {
 	s.FallbackPerLoop += o.FallbackPerLoop
 }
 
+// CkptStats counts checkpoint/restart activity. Checkpoint writes and
+// restores are host I/O off the virtual-time critical path, so these
+// counters never influence simulated clocks or results.
+type CkptStats struct {
+	// Checkpoints counts snapshots written; CheckpointBytes totals their
+	// encoded size.
+	Checkpoints     int64
+	CheckpointBytes int64
+	// Restores counts backends rebuilt from a snapshot (at most 1 per
+	// backend: the restored backend starts with the snapshot's count plus
+	// its own restore).
+	Restores int64
+}
+
 // AutoTuneStats records the model-driven autotuner's activity: the most
 // recent calibration, the latest decision per chain, and the chains the
 // invariance guard excluded from tuning (with why).
@@ -178,6 +192,7 @@ type Stats struct {
 	Loops    map[string]*LoopStats
 	Chains   map[string]*ChainStats
 	Faults   FaultStats
+	Ckpt     CkptStats
 	AutoTune AutoTuneStats
 }
 
@@ -249,6 +264,10 @@ func (s *Stats) String() string {
 	if f := s.Faults; f != (FaultStats{}) {
 		fmt.Fprintf(&b, "faults drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n",
 			f.Drops, f.Corrupts, f.Delays, f.Retries, f.Giveups, f.FallbackUngrouped, f.FallbackPerLoop)
+	}
+	if c := s.Ckpt; c != (CkptStats{}) {
+		fmt.Fprintf(&b, "checkpoint writes %d bytes %d restores %d\n",
+			c.Checkpoints, c.CheckpointBytes, c.Restores)
 	}
 	b.WriteString(s.AutoTune.Report())
 	return b.String()
@@ -325,6 +344,13 @@ func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
 	mw.Sample("op2ca_fault_giveups_total", extra, float64(f.Giveups))
 	mw.Sample("op2ca_fault_fallback_ungrouped_total", extra, float64(f.FallbackUngrouped))
 	mw.Sample("op2ca_fault_fallback_perloop_total", extra, float64(f.FallbackPerLoop))
+
+	mw.Declare("op2ca_checkpoint_total", "counter", "State snapshots written.")
+	mw.Declare("op2ca_checkpoint_bytes_total", "counter", "Encoded bytes of state snapshots written.")
+	mw.Declare("op2ca_checkpoint_restores_total", "counter", "Backends rebuilt from a state snapshot.")
+	mw.Sample("op2ca_checkpoint_total", extra, float64(s.Ckpt.Checkpoints))
+	mw.Sample("op2ca_checkpoint_bytes_total", extra, float64(s.Ckpt.CheckpointBytes))
+	mw.Sample("op2ca_checkpoint_restores_total", extra, float64(s.Ckpt.Restores))
 
 	if a := &s.AutoTune; a.Enabled {
 		mw.Declare("op2ca_autotune_decisions_total", "counter", "Chains the autotuner decided a policy for.")

@@ -13,10 +13,20 @@
 //	corrupt=0.002          — attempt arrives truncated/garbled with probability 0.002
 //	delay=5x@0.01          — attempt takes 5x its transmission time with probability 0.01
 //	straggler=rank3:10x    — every attempt sent by rank 3 is 10x slower (repeatable)
+//	crash=rank0@120        — rank 0 dies at exchange sequence 120 (process death)
 //	seed=42                — decision seed (default 1)
 //	maxretries=6           — per-message retransmission budget hint for the runtime
 //
 // Example: "drop=0.01,corrupt=0.002,delay=5x@0.01,straggler=rank3:10x,seed=42".
+//
+// The crash clause is categorically different from the message faults: it is
+// not a probabilistic per-attempt verdict but a deterministic process death,
+// raised by the runtime as a CrashError when the named rank reaches the given
+// exchange sequence number. A crashed run is therefore exactly reproducible —
+// the same plan kills the same run at the same virtual-time point every time —
+// which is what makes checkpoint/restart testable: crash, restore from the
+// last checkpoint, and the completed run must match the uninterrupted one
+// bit for bit.
 package faults
 
 import (
@@ -68,6 +78,38 @@ type Plan struct {
 	// MaxRetries, when positive, is the plan's suggested per-message
 	// retransmission budget; the runtime may override it.
 	MaxRetries int
+	// Crash, when non-nil, kills the run when the named rank reaches the
+	// given exchange sequence number (see CrashError). Unlike the message
+	// faults above it is not recoverable by retransmission; recovery is
+	// restart from a checkpoint.
+	Crash *Crash
+}
+
+// Crash is a deterministic process-death fault: rank Rank dies when the
+// runtime's exchange sequence counter reaches Exchange.
+type Crash struct {
+	Rank     int32
+	Exchange uint64
+}
+
+// CrashAt returns the plan's crash fault, or nil. Safe on a nil plan.
+func (p *Plan) CrashAt() *Crash {
+	if p == nil {
+		return nil
+	}
+	return p.Crash
+}
+
+// CrashError is the typed panic value raised by a runtime honouring a crash
+// fault, so drivers can distinguish the simulated process death from a bug,
+// point the operator at the last checkpoint and exit distinctly.
+type CrashError struct {
+	Rank     int32
+	Exchange uint64
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("faults: rank %d crashed at exchange %d", e.Rank, e.Exchange)
 }
 
 // Enabled reports whether the plan can inject any fault at all.
@@ -135,6 +177,21 @@ func Parse(spec string) (*Plan, error) {
 				p.Stragglers = map[int32]float64{}
 			}
 			p.Stragglers[int32(rank)] = f
+		case "crash":
+			// rankN@E, e.g. rank0@120.
+			rankStr, exchStr, ok := strings.Cut(val, "@")
+			if !ok || !strings.HasPrefix(rankStr, "rank") {
+				return nil, fmt.Errorf("faults: crash %q is not rankN@EXCHANGE", val)
+			}
+			rank, err := strconv.Atoi(strings.TrimPrefix(rankStr, "rank"))
+			if err != nil || rank < 0 {
+				return nil, fmt.Errorf("faults: crash rank %q", rankStr)
+			}
+			exch, err := strconv.ParseUint(exchStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: crash exchange %q: %v", exchStr, err)
+			}
+			p.Crash = &Crash{Rank: int32(rank), Exchange: exch}
 		case "seed":
 			s, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
@@ -206,6 +263,9 @@ func (p *Plan) String() string {
 	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
 	for _, r := range ranks {
 		parts = append(parts, fmt.Sprintf("straggler=rank%d:%gx", r, p.Stragglers[r]))
+	}
+	if p.Crash != nil {
+		parts = append(parts, fmt.Sprintf("crash=rank%d@%d", p.Crash.Rank, p.Crash.Exchange))
 	}
 	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
 	if p.MaxRetries > 0 {

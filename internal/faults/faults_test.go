@@ -173,3 +173,51 @@ func TestParseRejectsMalformedClauses(t *testing.T) {
 		t.Errorf("want key=value error, got %v", err)
 	}
 }
+
+func TestCrashParseAndString(t *testing.T) {
+	p, err := Parse("crash=rank2@77,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.CrashAt()
+	if c == nil || c.Rank != 2 || c.Exchange != 77 {
+		t.Fatalf("CrashAt = %+v, want rank 2 exchange 77", c)
+	}
+	if p.Enabled() {
+		t.Error("a crash-only plan injects no message faults; Enabled must stay false")
+	}
+	s := p.String()
+	if !strings.Contains(s, "crash=rank2@77") {
+		t.Errorf("String() = %q, missing crash clause", s)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("String round trip: %v", err)
+	}
+	bc := back.CrashAt()
+	if bc == nil || *bc != *c || back.Seed != p.Seed {
+		t.Errorf("round trip %q -> %+v seed %d, want %+v seed %d", s, bc, back.Seed, c, p.Seed)
+	}
+}
+
+func TestCrashParseErrors(t *testing.T) {
+	for _, bad := range []string{"crash=77", "crash=rank1", "crash=rank-1@5", "crash=rankx@5", "crash=rank1@", "crash=rank1@-2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCrashAtNilPlan(t *testing.T) {
+	var p *Plan
+	if p.CrashAt() != nil {
+		t.Error("nil plan must report no crash")
+	}
+}
+
+func TestCrashErrorMessage(t *testing.T) {
+	e := &CrashError{Rank: 3, Exchange: 9}
+	if msg := e.Error(); !strings.Contains(msg, "3") || !strings.Contains(msg, "9") {
+		t.Errorf("CrashError message %q should carry rank and exchange", msg)
+	}
+}

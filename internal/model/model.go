@@ -63,6 +63,25 @@ type Net struct {
 	// C is the per-neighbour pack/unpack cost of the grouped message
 	// (the c term of Equation (3)); zero for standard loops.
 	C float64
+	// EagerThreshold is the eager/rendezvous protocol switch in bytes:
+	// messages strictly larger pay Handshake on top of L + m/B, mirroring
+	// netsim.Network.MessageTime. Zero disables the switch.
+	EagerThreshold float64
+	// Handshake is the extra per-message cost above EagerThreshold
+	// (2·network-latency in netsim; the handshake crosses the wire even
+	// when L itself is the staged-GPU Λ).
+	Handshake float64
+}
+
+// MsgTime prices one m-byte point-to-point message: L + m/B, plus the
+// rendezvous handshake when m exceeds the eager threshold. This is the
+// model-side mirror of netsim.Network.MessageTime.
+func (n Net) MsgTime(m float64) float64 {
+	t := n.L + m/n.B
+	if n.EagerThreshold > 0 && m > n.EagerThreshold {
+		t += n.Handshake
+	}
+	return t
 }
 
 // Validate rejects network parameters that would produce meaningless model
@@ -79,13 +98,20 @@ func (n Net) Validate() error {
 	if n.C < 0 || math.IsNaN(n.C) || math.IsInf(n.C, 0) {
 		return fmt.Errorf("model: C %g must be a non-negative, finite time", n.C)
 	}
+	if n.EagerThreshold < 0 || math.IsNaN(n.EagerThreshold) || math.IsInf(n.EagerThreshold, 0) {
+		return fmt.Errorf("model: EagerThreshold %g must be a non-negative, finite byte count", n.EagerThreshold)
+	}
+	if n.Handshake < 0 || math.IsNaN(n.Handshake) || math.IsInf(n.Handshake, 0) {
+		return fmt.Errorf("model: Handshake %g must be a non-negative, finite time", n.Handshake)
+	}
 	return nil
 }
 
 // TOp2Loop is Equation (1): the runtime of one standard OP2 loop,
-// MAX[g*S^c, 2*d*p*(L+m/B)] + g*S^1.
+// MAX[g*S^c, 2*d*p*(L+m/B)] + g*S^1, with the per-message cost carrying
+// the rendezvous handshake above the eager threshold (Net.MsgTime).
 func TOp2Loop(p LoopParams, n Net) float64 {
-	comm := 2 * p.NDats * p.Neighbours * (n.L + p.MsgBytes/n.B)
+	comm := 2 * p.NDats * p.Neighbours * n.MsgTime(p.MsgBytes)
 	t := p.G * p.CoreIters
 	if comm > t {
 		t = comm
@@ -116,14 +142,17 @@ type ChainParams struct {
 	GroupedBytes float64
 }
 
-// TCAChain is Equation (3): MAX[Σ g_l*S_l^c, p*(L + m^r/B + c)] + Σ g_l*S_l^h.
+// TCAChain is Equation (3): MAX[Σ g_l*S_l^c, p*(L + m^r/B + c)] + Σ g_l*S_l^h,
+// with the grouped message priced by Net.MsgTime so the rendezvous handshake
+// applies once m^r crosses the eager threshold (the common case: grouping
+// pushes per-neighbour payloads past it).
 func TCAChain(c ChainParams, n Net) float64 {
 	coreSum, haloSum := 0.0, 0.0
 	for _, l := range c.Loops {
 		coreSum += l.G * l.CoreIters
 		haloSum += l.G * l.HaloIters
 	}
-	comm := c.Neighbours * (n.L + c.GroupedBytes/n.B + n.C)
+	comm := c.Neighbours * (n.MsgTime(c.GroupedBytes) + n.C)
 	t := coreSum
 	if comm > t {
 		t = comm
@@ -197,7 +226,7 @@ func Compare(op2 []LoopParams, ca ChainParams, n Net) Components {
 		c.CAHaloIters += l.HaloIters
 	}
 	tOp2 := TOp2Chain(op2, n)
-	tCA := TCAChain(ca, Net{L: n.L, B: n.B, C: n.C})
+	tCA := TCAChain(ca, n)
 	if tOp2 > 0 {
 		c.GainPct = (tOp2 - tCA) / tOp2 * 100
 	}
@@ -255,7 +284,21 @@ func BreakEvenNeighbourBytes(op2 []LoopParams, ca ChainParams, n Net) float64 {
 	if ca.Neighbours == 0 {
 		return math.Inf(1)
 	}
+	// MsgTime is piecewise in m: solve the eager branch first, and if the
+	// solution lands above the threshold re-solve with the rendezvous
+	// handshake included. When the two branches disagree (eager solution
+	// above the threshold, rendezvous solution below it) the cost jump at
+	// the threshold straddles the target, so the break-even is the
+	// threshold itself.
 	m := (target/ca.Neighbours - n.L - n.C) * n.B
+	if n.EagerThreshold > 0 && m > n.EagerThreshold {
+		mr := (target/ca.Neighbours - n.L - n.Handshake - n.C) * n.B
+		if mr > n.EagerThreshold {
+			m = mr
+		} else {
+			m = n.EagerThreshold
+		}
+	}
 	if m < 0 {
 		return 0
 	}

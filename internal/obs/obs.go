@@ -62,13 +62,19 @@ const (
 	// chain and the chosen policy. Zero-length — the tuner runs in the
 	// inspector, off the virtual-time critical path.
 	Tune
+	// Checkpoint marks a state snapshot being written; the span name
+	// carries the checkpoint note. Zero-length — checkpointing is host
+	// I/O, off the virtual-time critical path.
+	Checkpoint
+	// Restore marks a backend resuming from a snapshot.
+	Restore
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage",
-	"retry", "giveup", "tune",
+	"retry", "giveup", "tune", "checkpoint", "restore",
 }
 
 func (k Kind) String() string {
