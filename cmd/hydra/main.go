@@ -49,7 +49,9 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
 		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions next to measured virtual times")
-		autoTune    = flag.Bool("autotune", false,
+		profile     = flag.Bool("profile", false,
+			"print the critical-path / communication-matrix / imbalance report (forces tracing; the run stays bit-identical)")
+		autoTune = flag.Bool("autotune", false,
 			"let the model-driven autotuner pick each chain's execution policy (requires -backend ca); results stay bit-identical to any static configuration")
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.01,straggler=rank3:10x,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
@@ -73,7 +75,7 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
-	if *tracePath != "" {
+	if *tracePath != "" || *profile {
 		tracer = obs.New()
 	}
 	var plan *faults.Plan
@@ -203,6 +205,13 @@ func main() {
 				plan.String(), fs.Drops, fs.Corrupts, fs.Delays, fs.Retries, fs.Giveups,
 				fs.FallbackUngrouped, fs.FallbackPerLoop)
 		}
+		if *profile {
+			// Attach the analysis to Stats before any report renders; the
+			// full report prints here unless -stats already includes it.
+			if p := cb.Profile(); p != nil && !*stats {
+				fmt.Print(p.Report())
+			}
+		}
 		if *stats {
 			fmt.Print(cb.Stats().String())
 		}
@@ -218,8 +227,8 @@ func main() {
 		if *verify {
 			verifyAgainstSeq(cb, m, app, *iters, chained, *safe)
 		}
-	} else if *tracePath != "" || *metricsPath != "" || *modelCheck || plan != nil {
-		fmt.Fprintln(os.Stderr, "hydra: -trace/-metrics/-model-check/-faults need a distributed backend (op2 or ca); ignored for seq")
+	} else if *tracePath != "" || *metricsPath != "" || *modelCheck || *profile || plan != nil {
+		fmt.Fprintln(os.Stderr, "hydra: -trace/-metrics/-model-check/-profile/-faults need a distributed backend (op2 or ca); ignored for seq")
 	}
 }
 

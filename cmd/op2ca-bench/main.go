@@ -10,76 +10,24 @@
 //	op2ca-bench -experiment fig10,table5
 //	op2ca-bench -quick                  # CI-sized scale
 //	op2ca-bench -nodes8m 120000 -rankscale 0.02 -iters 5
-//	op2ca-bench -quick -json results.json -trace trace.json
+//	op2ca-bench -quick -profile -json results.json
+//	op2ca-bench -compare -thresholds default=2% old.json new.json
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
 
-	"op2ca/internal/autotune"
 	"op2ca/internal/bench"
 	"op2ca/internal/checkpoint"
 	"op2ca/internal/cluster"
 	"op2ca/internal/faults"
 	"op2ca/internal/obs"
 )
-
-// jsonResult is one experiment's table plus its wall time, for -json.
-type jsonResult struct {
-	Name    string     `json:"name"`
-	Title   string     `json:"title"`
-	Header  []string   `json:"header"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-	Seconds float64    `json:"seconds"`
-}
-
-// jsonFaults mirrors cluster.FaultStats with stable JSON names, summed over
-// every backend the experiments construct. All zeros on a fault-free run.
-type jsonFaults struct {
-	Drops             int64 `json:"drops"`
-	Corrupts          int64 `json:"corrupts"`
-	Delays            int64 `json:"delays"`
-	Retries           int64 `json:"retries"`
-	Giveups           int64 `json:"giveups"`
-	FallbackUngrouped int64 `json:"fallback_ungrouped"`
-	FallbackPerLoop   int64 `json:"fallback_perloop"`
-}
-
-// jsonAutoTuneRun is one measured run's autotuner record: the calibrated
-// machine/loop parameters and, per chain, the candidates scored, the chosen
-// policy, predicted and measured times and the re-plan count. Chains the
-// tuner refused to probe (policy invariance) appear under skipped. CI
-// asserts every decision's chosen policy is the predicted minimum and that
-// an -autotune run's checksums equal the static baseline's.
-type jsonAutoTuneRun struct {
-	Run         string               `json:"run"`
-	Calibration autotune.Calib       `json:"calibration"`
-	Decisions   []*autotune.Decision `json:"decisions"`
-	Skipped     map[string]string    `json:"skipped,omitempty"`
-}
-
-// jsonOutput is the -json document: the effective configuration and every
-// experiment's result, machine-readable for plotting or regression checks.
-// Checksums maps each measured run's label to an FNV-1a hash of its final
-// dat values; a faulted run must produce the same map as a fault-free one
-// (faults shape virtual time, never data), which CI asserts with jq.
-type jsonOutput struct {
-	Nodes8M   int               `json:"nodes8m"`
-	Nodes24M  int               `json:"nodes24m"`
-	RankScale float64           `json:"rankscale"`
-	Iters     int               `json:"iters"`
-	FaultSpec string            `json:"fault_spec,omitempty"`
-	Faults    *jsonFaults       `json:"faults,omitempty"`
-	Checksums map[string]string `json:"checksums,omitempty"`
-	AutoTune  []jsonAutoTuneRun `json:"autotune,omitempty"`
-	Results   []jsonResult      `json:"results"`
-}
 
 func main() {
 	var (
@@ -97,7 +45,13 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of every run (one pid per backend)")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics for every run to this file (\"-\" for stdout)")
 		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions vs measured time after each run")
-		autoTune    = flag.Bool("autotune", false,
+		profile     = flag.Bool("profile", false,
+			"run the critical-path / communication-matrix analysis after each measured run (forces tracing; results stay bit-identical) and embed per-run summaries in the -json document")
+		compare = flag.Bool("compare", false,
+			"compare two -json snapshots given as positional arguments (old new); exits 1 on regression, 2 on usage error")
+		thresholds = flag.String("thresholds", "",
+			"per-table relative tolerances for -compare, e.g. default=2%,table2=5% (fractions or percentages; unlisted tables use default, which defaults to exact)")
+		autoTune = flag.Bool("autotune", false,
 			"let the model-driven autotuner pick each chain's execution policy in the CA runs (results stay bit-identical; ablations keep their pinned configurations)")
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.05,seed=1 (see internal/faults); results stay bit-identical, virtual times include recovery")
@@ -107,6 +61,10 @@ func main() {
 			"resume from a checkpoint file a crashed invocation wrote: the matching run restores mid-measurement, all others re-execute deterministically")
 	)
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *thresholds))
+	}
 
 	var plan *faults.Plan
 	if *faultSpec != "" {
@@ -136,7 +94,7 @@ func main() {
 	if *serial {
 		cfg.Parallel = false
 	}
-	if *tracePath != "" {
+	if *tracePath != "" || *profile {
 		cfg.Tracer = obs.New()
 	}
 	cfg.Faults = plan
@@ -175,16 +133,40 @@ func main() {
 		mw = obs.NewMetricsWriter(w)
 	}
 	// The Observe hook composes every per-run consumer: model checks,
-	// metrics export, fault-counter aggregation and (for -json) per-run dat
-	// checksums, so a faulted run can be diffed against a fault-free one.
+	// metrics export, fault-counter aggregation, profiling and (for -json)
+	// per-run dat checksums, so a faulted run can be diffed against a
+	// fault-free one.
 	var faultTotals cluster.FaultStats
 	var checksums map[string]string
-	var tuneRuns []jsonAutoTuneRun
+	var tuneRuns []bench.AutoTuneRun
+	var profiles []bench.ProfileRecord
+	profiled := map[string]bool{}
+	profileErrs := 0
 	if *jsonPath != "" {
 		checksums = map[string]string{}
 	}
-	if *modelCheck || mw != nil || checksums != nil || plan != nil || *autoTune {
+	if *modelCheck || mw != nil || checksums != nil || plan != nil || *autoTune || *profile {
 		cfg.Observe = func(label string, b *cluster.Backend) {
+			if *profile {
+				if p := b.Profile(); p != nil {
+					// Self-check the tentpole invariant on every profiled
+					// run: the critical path tiles the makespan exactly.
+					mc := b.MaxClock()
+					if math.Abs(p.Path.Length-mc) > 1e-9*math.Max(mc, 1) {
+						fmt.Fprintf(os.Stderr,
+							"op2ca-bench: %s: critical path %.9fs != makespan %.9fs\n",
+							label, p.Path.Length, mc)
+						profileErrs++
+					}
+					// Experiments reuse labels across tables (fig10 and
+					// table2 measure the same configurations); identical
+					// runs profile identically, so keep the first.
+					if !profiled[label] {
+						profiled[label] = true
+						profiles = append(profiles, bench.NewProfileRecord(label, p))
+					}
+				}
+			}
 			if *modelCheck {
 				fmt.Printf("-- %s --\n%s", label, b.ModelReport())
 			}
@@ -195,7 +177,7 @@ func main() {
 				checksums[label] = b.ChecksumDats()
 			}
 			if at := b.Stats().AutoTune; at.Enabled && *jsonPath != "" {
-				rec := jsonAutoTuneRun{Run: label, Calibration: at.Calib}
+				rec := bench.AutoTuneRun{Run: label, Calibration: at.Calib}
 				for _, name := range at.Order {
 					rec.Decisions = append(rec.Decisions, at.Decisions[name])
 				}
@@ -232,7 +214,7 @@ func main() {
 		}
 	}
 
-	jout := jsonOutput{Nodes8M: cfg.Nodes8M, Nodes24M: cfg.Nodes24M,
+	snap := bench.Snapshot{Nodes8M: cfg.Nodes8M, Nodes24M: cfg.Nodes24M,
 		RankScale: cfg.RankScale, Iters: cfg.Iters}
 	emit(fmt.Sprintf("op2ca-bench: meshes %d/%d nodes, rank scale %g, %d iterations\n\n",
 		cfg.Nodes8M, cfg.Nodes24M, cfg.RankScale, cfg.Iters))
@@ -264,12 +246,21 @@ func main() {
 			emit(table.String())
 			emit(fmt.Sprintf("(%s took %.1fs)\n\n", name, elapsed))
 		}
-		jout.Results = append(jout.Results, jsonResult{
+		snap.Results = append(snap.Results, bench.Result{
 			Name: name, Title: table.Title, Header: table.Header,
 			Rows: table.Rows, Notes: table.Notes, Seconds: elapsed,
 		})
 	}
 
+	if *profile {
+		for _, p := range profiles {
+			emit(fmt.Sprintf("profile %s: critpath %.6fs (makespan %.6fs), imbalance %.3f\n",
+				p.Run, p.CritPath, p.Makespan, p.Imbalance))
+		}
+		if len(profiles) > 0 {
+			emit("\n")
+		}
+	}
 	if plan != nil {
 		emit(fmt.Sprintf("faults: %s -> drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n\n",
 			plan.String(), faultTotals.Drops, faultTotals.Corrupts, faultTotals.Delays,
@@ -293,9 +284,9 @@ func main() {
 	}
 	if *jsonPath != "" {
 		if plan != nil {
-			jout.FaultSpec = plan.String()
+			snap.FaultSpec = plan.String()
 		}
-		jout.Faults = &jsonFaults{
+		snap.Faults = &bench.FaultTotals{
 			Drops:             faultTotals.Drops,
 			Corrupts:          faultTotals.Corrupts,
 			Delays:            faultTotals.Delays,
@@ -304,17 +295,49 @@ func main() {
 			FallbackUngrouped: faultTotals.FallbackUngrouped,
 			FallbackPerLoop:   faultTotals.FallbackPerLoop,
 		}
-		jout.Checksums = checksums
-		jout.AutoTune = tuneRuns
-		data, err := json.MarshalIndent(&jout, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+		snap.Checksums = checksums
+		snap.AutoTune = tuneRuns
+		snap.Profiles = profiles
+		if err := snap.WriteFile(*jsonPath); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("json: results written to %s\n", *jsonPath)
 	}
+	if profileErrs > 0 {
+		fmt.Fprintf(os.Stderr, "op2ca-bench: %d run(s) failed the critical-path == makespan self-check\n", profileErrs)
+		os.Exit(4)
+	}
+}
+
+// runCompare implements -compare old.json new.json: load both snapshots,
+// diff them under the -thresholds spec, print the report and return the
+// process exit code (0 ok, 1 regression, 2 usage/IO error).
+func runCompare(args []string, spec string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "op2ca-bench: -compare needs exactly two snapshot paths: old.json new.json")
+		return 2
+	}
+	th, err := bench.ParseThresholds(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "op2ca-bench:", err)
+		return 2
+	}
+	oldS, err := bench.ReadSnapshot(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "op2ca-bench:", err)
+		return 2
+	}
+	newS, err := bench.ReadSnapshot(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "op2ca-bench:", err)
+		return 2
+	}
+	r := bench.CompareSnapshots(oldS, newS, th)
+	fmt.Printf("compare %s -> %s\n%s", args[0], args[1], r)
+	if !r.OK() {
+		return 1
+	}
+	return 0
 }
 
 // runRecovering executes one experiment, converting an injected crash fault

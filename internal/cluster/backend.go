@@ -125,6 +125,9 @@ type Backend struct {
 	clock  []float64
 	stats  *Stats
 	tracer *obs.Tracer
+	// epoch is this backend's trace epoch index (see obs.Tracer.NewEpoch);
+	// Profile analyses exactly this epoch when a sweep shares one tracer.
+	epoch int32
 
 	rec   *recording
 	lazyQ []core.Loop
@@ -284,7 +287,7 @@ func New(cfg Config) (*Backend, error) {
 	// Each backend instance opens its own trace epoch: its virtual clock
 	// starts at zero, so runs sharing one tracer (benchmark sweeps) must
 	// not share a timeline.
-	b.tracer.NewEpoch(fmt.Sprintf("%s x%d (%s)", b.Name(), cfg.NParts, cfg.Machine.Name))
+	b.epoch = b.tracer.NewEpoch(fmt.Sprintf("%s x%d (%s)", b.Name(), cfg.NParts, cfg.Machine.Name))
 	return b, nil
 }
 

@@ -247,9 +247,11 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	}
 	traced := b.tracer.Enabled()
 	var inbound [][]int
+	var sendStarts []float64
 	if traced && exchanging {
+		sendStarts = sendStartTimes(post, res.msgs, arrivals)
 		b.emitPackSpans(name, res.sendBytes)
-		b.emitSendSpans(name, post, res.msgs, arrivals)
+		b.emitSendSpans(name, sendStarts, res.msgs, arrivals)
 		inbound = inboundIndex(b.cfg.NParts, res.msgs)
 	}
 	for r := 0; r < b.cfg.NParts; r++ {
@@ -263,7 +265,7 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 				t = recvLast[r]
 			}
 			if traced && exchanging {
-				b.emitWaitSpans(name, r, post[r], inbound[r], res.msgs, arrivals)
+				b.emitWaitSpans(name, r, post[r], inbound[r], res.msgs, arrivals, post, sendStarts)
 			}
 			if grouped {
 				if traced && res.recvBytes[r] > 0 {
@@ -324,7 +326,7 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			}
 		}
 		if traced && exchanging {
-			b.emitWaitSpans(name, r, afterCore, inbound[r], res.msgs, arrivals)
+			b.emitWaitSpans(name, r, afterCore, inbound[r], res.msgs, arrivals, post, sendStarts)
 		}
 		for i := range loops {
 			if halo := haloIters[r][i]; halo > 0 {

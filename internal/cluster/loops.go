@@ -74,10 +74,12 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 
 	traced := b.tracer.Enabled()
 	var inbound [][]int
+	var sendStarts []float64
 	if traced {
 		if exchanging {
+			sendStarts = sendStartTimes(post, res.msgs, arrivals)
 			b.emitPackSpans(traceKey, res.sendBytes)
-			b.emitSendSpans(traceKey, post, res.msgs, arrivals)
+			b.emitSendSpans(traceKey, sendStarts, res.msgs, arrivals)
 			inbound = inboundIndex(b.cfg.NParts, res.msgs)
 		}
 	}
@@ -91,7 +93,7 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 				t = recvLast[r]
 			}
 			if traced && exchanging {
-				b.emitWaitSpans(traceKey, r, post[r], inbound[r], res.msgs, arrivals)
+				b.emitWaitSpans(traceKey, r, post[r], inbound[r], res.msgs, arrivals, post, sendStarts)
 			}
 			start := t
 			t += launch + g*float64(end[r])
@@ -124,7 +126,7 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 			}
 		}
 		if traced && exchanging {
-			b.emitWaitSpans(traceKey, r, afterCore, inbound[r], res.msgs, arrivals)
+			b.emitWaitSpans(traceKey, r, afterCore, inbound[r], res.msgs, arrivals, post, sendStarts)
 		}
 		if halo := end[r] - coreEnd[r]; halo > 0 {
 			haloStart := t
@@ -144,8 +146,24 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 		reduceTime = b.net.ReduceTime(b.cfg.NParts, bytes)
 		t := b.maxClock() + reduceTime
 		if traced {
+			// The last rank to enter the allreduce binds everyone: emit a
+			// reduce edge from the straggler to each other rank so the
+			// critical path can cross onto its timeline.
+			rm := 0
+			for r := 1; r < len(b.clock); r++ {
+				if b.clock[r] > b.clock[rm] {
+					rm = r
+				}
+			}
 			for r := range b.clock {
 				b.tracer.Emit(int32(r), obs.TrackExec, obs.Reduce, traceKey, b.clock[r], t, bytes)
+				if r != rm {
+					b.tracer.EmitEdge(obs.Edge{
+						Kind: obs.EdgeReduce, Name: traceKey, From: int32(rm), To: int32(r),
+						Post: b.clock[rm], Begin: b.clock[rm], End: t,
+						Ready: b.clock[r], Bytes: bytes,
+					})
+				}
 			}
 		}
 		for r := range b.clock {

@@ -74,5 +74,23 @@ func (b *Backend) ModelReport() string {
 		}
 		fmt.Fprintf(&sb, "aggregate over %d rows: mean |err| %.1f%% max |err| %.1f%%\n", n, sum/float64(n), max)
 	}
+	if p := b.stats.Profile; p != nil {
+		// The whole-run cross-check: the per-row predictions above should,
+		// summed, track the measured critical path (= the makespan, since
+		// the path tiles it). Loops executed inside chains are already in
+		// their chain's Predicted, so only top-level loop rows are summed.
+		var pred float64
+		for n, l := range b.stats.Loops {
+			if !strings.Contains(n, "/") {
+				pred += l.Predicted
+			}
+		}
+		for _, c := range b.stats.Chains {
+			pred += c.Predicted
+		}
+		v := model.Validation{Predicted: pred, Measured: p.Path.Length}
+		fmt.Fprintf(&sb, "%-5s %-22s %12.6fs %12.6fs %+7.1f%%\n",
+			"crit", "path(makespan)", v.Predicted, v.Measured, v.ErrPct())
+	}
 	return sb.String()
 }

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"op2ca/internal/core"
+	"op2ca/internal/faults"
+	"op2ca/internal/machine"
+	"op2ca/internal/mesh"
+	"op2ca/internal/obs"
+	"op2ca/internal/partition"
+)
+
+// pathTol is the float tolerance for "critical path length == makespan":
+// the walk reuses the exact values the clock arithmetic traced, so the
+// comparison is near-exact.
+const pathTol = 1e-9
+
+func checkPathTilesMakespan(t *testing.T, name string, b *Backend) {
+	t.Helper()
+	p := b.Profile()
+	if p == nil {
+		t.Fatalf("%s: Profile() = nil on a traced backend", name)
+	}
+	mc := b.MaxClock()
+	if math.Abs(p.Makespan-mc) > pathTol*mc {
+		t.Errorf("%s: profile makespan %v, MaxClock %v", name, p.Makespan, mc)
+	}
+	if math.Abs(p.Path.Length-mc) > pathTol*math.Max(mc, 1) {
+		t.Errorf("%s: critical path length %v != makespan %v", name, p.Path.Length, mc)
+	}
+	var byKind, byRank float64
+	for _, v := range p.Path.ByKind {
+		byKind += v
+	}
+	for _, v := range p.Path.ByRank {
+		byRank += v
+	}
+	if math.Abs(byKind-p.Path.Length) > pathTol*math.Max(mc, 1) {
+		t.Errorf("%s: by-kind attribution sums to %v, path length %v", name, byKind, p.Path.Length)
+	}
+	if math.Abs(byRank-p.Path.Length) > pathTol*math.Max(mc, 1) {
+		t.Errorf("%s: by-rank attribution sums to %v, path length %v", name, byRank, p.Path.Length)
+	}
+	// Segments must tile forward: each begins where the previous ended or
+	// where a traversed edge started.
+	prev := 0.0
+	for i, s := range p.Path.Segments {
+		if s.Begin < prev-pathTol*math.Max(mc, 1) || s.End < s.Begin {
+			t.Fatalf("%s: segment %d [%v, %v] overlaps previous end %v", name, i, s.Begin, s.End, prev)
+		}
+		prev = s.End
+	}
+}
+
+// TestProfilePathMatchesMakespan is the tentpole invariant: on every
+// machine and execution mode, the critical path through the span DAG tiles
+// exactly the run's virtual makespan, and the per-kind/per-rank attribution
+// partitions it.
+func TestProfilePathMatchesMakespan(t *testing.T) {
+	cases := []struct {
+		name      string
+		mach      func() *machine.Machine
+		gpuDirect bool
+	}{
+		{"archer2", machine.ARCHER2, false},
+		{"cirrus-staged", machine.Cirrus, false},
+		{"cirrus-gpudirect", machine.Cirrus, true},
+	}
+	for _, tc := range cases {
+		for _, caMode := range []bool{false, true} {
+			name := tc.name
+			if caMode {
+				name += "/ca"
+			} else {
+				name += "/op2"
+			}
+			b := runTraced(t, tc.mach(), obs.New(), caMode, caMode, false, tc.gpuDirect)
+			checkPathTilesMakespan(t, name, b)
+			p := b.stats.Profile
+			if caMode {
+				found := false
+				for _, cc := range p.Comm {
+					if cc.Name == "synth" {
+						found = true
+						if cc.Msgs == 0 || cc.Bytes == 0 {
+							t.Errorf("%s: chain comm matrix empty: %+v", name, cc)
+						}
+						var matBytes int64
+						for _, v := range cc.BytesMat {
+							matBytes += v
+						}
+						if matBytes != cc.Bytes {
+							t.Errorf("%s: bytes matrix sums to %d, total %d", name, matBytes, cc.Bytes)
+						}
+					}
+				}
+				if !found {
+					t.Errorf("%s: no comm profile for chain synth (have %d entries)", name, len(p.Comm))
+				}
+			}
+			if p.Imbalance.Ratio < 1 {
+				t.Errorf("%s: imbalance ratio %v < 1", name, p.Imbalance.Ratio)
+			}
+			for _, cc := range p.Comm {
+				sum := cc.WaitLate + cc.WaitNIC + cc.WaitRetry + cc.WaitTransit
+				if math.Abs(sum-cc.Wait) > pathTol*math.Max(cc.Wait, 1) {
+					t.Errorf("%s: %s wait components sum to %v, wait %v", name, cc.Name, sum, cc.Wait)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileWithReduction: a global reduction's straggler edge keeps the
+// path tiling the makespan, with Reduce time attributed.
+func TestProfileWithReduction(t *testing.T) {
+	m := mesh.Rotor(6, 5, 4)
+	p := core.NewProgram()
+	nodes := p.DeclSet(m.NNodes, "nodes")
+	x := p.DeclDat(nodes, 1, nil, "x")
+	for i := range x.Data {
+		x.Data[i] = float64(i%11 - 5)
+	}
+	k := &core.Kernel{Name: "sumsq", Flops: 2, MemBytes: 16, Fn: func(a [][]float64) {
+		a[1][0] += a[0][0] * a[0][0]
+	}}
+	tr := obs.New()
+	b, err := New(Config{
+		Prog: p, Primary: nodes, Assign: partition.Block(m.NNodes, 4), NParts: 4,
+		Machine: machine.ARCHER2(), Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := []float64{0}
+	b.ParLoop(core.NewLoop(k, nodes, core.ArgDatDirect(x, core.Read), core.ArgGbl(sum, core.Inc)))
+	checkPathTilesMakespan(t, "reduction", b)
+	if b.stats.Profile.Path.ByKind[obs.Reduce] <= 0 {
+		t.Errorf("reduction run attributes no Reduce time: %v", b.stats.Profile.Path.ByKind)
+	}
+}
+
+// TestProfileUnderFaults: retransmissions (retry edges) and degradations
+// keep the invariant, and the wait attribution surfaces a retry component.
+func TestProfileUnderFaults(t *testing.T) {
+	m := mesh.Rotor(8, 6, 5)
+	plan := faults.MustParse("drop=0.2,corrupt=0.1,seed=7")
+	a := newMiniApp(m)
+	a.p.DeclDat(a.bedges, 1, makeBW(m.NBedges), "bw")
+	tr := obs.New()
+	b, err := New(Config{
+		Prog: a.p, Primary: a.nodes, Assign: partition.KWay(m.NodeAdjacency(), 4), NParts: 4,
+		Depth: 2, MaxChainLen: 4, CA: true, Machine: machine.ARCHER2(),
+		Faults: plan, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.run(b, 2, true)
+	checkPathTilesMakespan(t, "faults", b)
+	if b.Stats().Faults.Retries == 0 {
+		t.Fatal("plan injected no retries; retry attribution check is vacuous")
+	}
+	var retryWait float64
+	for _, cc := range b.stats.Profile.Comm {
+		retryWait += cc.WaitRetry
+	}
+	if retryWait <= 0 {
+		t.Error("faulted run attributes no wait time to retries")
+	}
+}
+
+// TestProfileDoesNotPerturbRun mirrors the PR 1 tracer no-perturbation
+// test at the -profile level: enabling tracing and running the analysis
+// must leave clocks and gathered results bit-identical.
+func TestProfileDoesNotPerturbRun(t *testing.T) {
+	for _, caMode := range []bool{false, true} {
+		off := runTraced(t, machine.ARCHER2(), nil, caMode, caMode, false, false)
+		on := runTraced(t, machine.ARCHER2(), obs.New(), caMode, caMode, false, false)
+		if on.Profile() == nil {
+			t.Fatal("Profile() = nil on traced backend")
+		}
+		if off.Profile() != nil {
+			t.Fatal("Profile() non-nil without a tracer")
+		}
+		if off.MaxClock() != on.MaxClock() {
+			t.Errorf("ca=%v: MaxClock differs under -profile: %v vs %v", caMode, off.MaxClock(), on.MaxClock())
+		}
+		if oc, nc := off.ChecksumDats(), on.ChecksumDats(); oc != nc {
+			t.Errorf("ca=%v: checksums differ under -profile: %x vs %x", caMode, oc, nc)
+		}
+	}
+}
+
+// TestProfileInReports: the profile shows up in Stats.String, WriteMetrics
+// and ModelReport once Profile has run.
+func TestProfileInReports(t *testing.T) {
+	b := runTraced(t, machine.ARCHER2(), obs.New(), true, true, false, false)
+	if got := b.Stats().String(); strings.Contains(got, "critical path:") {
+		t.Error("Stats.String reports a profile before Profile() ran")
+	}
+	b.Profile()
+	got := b.Stats().String()
+	for _, want := range []string{"critical path:", "imbalance:", "comm synth"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Stats.String missing %q:\n%s", want, got)
+		}
+	}
+	var buf bytes.Buffer
+	mw := obs.NewMetricsWriter(&buf)
+	b.Stats().WriteMetrics(mw, obs.Label{Key: "run", Value: "r1"})
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"op2ca_critpath_seconds{run=\"r1\"}",
+		"op2ca_critpath_kind_seconds{kind=\"compute\",run=\"r1\"}",
+		"op2ca_imbalance_ratio{run=\"r1\"}",
+		"op2ca_comm_wait_seconds{owner=\"synth\",cause=\"nic\",run=\"r1\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	mr := b.ModelReport()
+	if !strings.Contains(mr, "crit  path(makespan)") {
+		t.Errorf("ModelReport missing critical-path row:\n%s", mr)
+	}
+}
+
+// TestProfileDeterministic: identical runs produce identical reports.
+func TestProfileDeterministic(t *testing.T) {
+	render := func() string {
+		b := runTraced(t, machine.ARCHER2(), obs.New(), true, true, true, false)
+		return b.Profile().Report()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("identical runs produced different profile reports:\n%s\nvs\n%s", a, b)
+	}
+}

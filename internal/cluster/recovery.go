@@ -121,6 +121,13 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 			next := arr + b.retryTimeout + b.retryBackoff*backoffFactor(try)
 			if traced {
 				b.tracer.Emit(m.From, obs.TrackExec, obs.Retry, owner, arr, next, m.Bytes)
+				// The retry edge lets the critical-path walk and the wait
+				// attribution charge this stretch of the message's window
+				// to retransmission rather than transit.
+				b.tracer.EmitEdge(obs.Edge{
+					Kind: obs.EdgeRetry, Name: owner, From: m.From, To: m.From,
+					Post: arr, Begin: arr, End: next, Ready: arr, Bytes: m.Bytes,
+				})
 			}
 			busy[m.From] = next
 			start = next

@@ -7,6 +7,7 @@ import (
 
 	"op2ca/internal/autotune"
 	"op2ca/internal/obs"
+	"op2ca/internal/obs/analysis"
 )
 
 // LoopStats aggregates the executions of one named loop outside chains.
@@ -194,6 +195,11 @@ type Stats struct {
 	Faults   FaultStats
 	Ckpt     CkptStats
 	AutoTune AutoTuneStats
+	// Profile is the critical-path/communication/imbalance analysis of the
+	// run's trace epoch; nil until Backend.Profile is called (requires a
+	// Tracer). Not serialised into checkpoints — a restored run re-profiles
+	// its own epoch.
+	Profile *analysis.Profile `json:"-"`
 }
 
 func newStats() *Stats {
@@ -270,6 +276,7 @@ func (s *Stats) String() string {
 			c.Checkpoints, c.CheckpointBytes, c.Restores)
 	}
 	b.WriteString(s.AutoTune.Report())
+	b.WriteString(s.Profile.Report())
 	return b.String()
 }
 
@@ -400,6 +407,46 @@ func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
 		for _, n := range names {
 			lb := append([]obs.Label{{Key: "loop", Value: n}}, extra...)
 			mw.Sample("op2ca_autotune_g_seconds", lb, a.Calib.G[n])
+		}
+	}
+
+	if p := s.Profile; p != nil {
+		mw.Declare("op2ca_critpath_seconds", "gauge", "Critical-path length through the run's span DAG (equals the virtual makespan).")
+		mw.Declare("op2ca_critpath_kind_seconds", "gauge", "Critical-path time attributed to one span kind.")
+		mw.Declare("op2ca_critpath_rank_seconds", "gauge", "Critical-path time spent on one rank's timeline.")
+		mw.Declare("op2ca_critpath_segments", "gauge", "Number of segments on the critical path.")
+		mw.Declare("op2ca_critpath_edges", "gauge", "Number of causal edges the critical path traversed.")
+		mw.Declare("op2ca_imbalance_ratio", "gauge", "Compute load imbalance: max over mean per-rank compute time.")
+		mw.Declare("op2ca_imbalance_compute_seconds", "gauge", "Per-rank compute time (core plus redundant).")
+		mw.Declare("op2ca_comm_wait_seconds", "gauge", "Receiver-observed wait per exchange owner, split by cause.")
+		mw.Sample("op2ca_critpath_seconds", extra, p.Path.Length)
+		mw.Sample("op2ca_critpath_segments", extra, float64(len(p.Path.Segments)))
+		mw.Sample("op2ca_critpath_edges", extra, float64(len(p.Path.Edges)))
+		for _, k := range obs.Kinds() {
+			if v, ok := p.Path.ByKind[k]; ok {
+				mw.Sample("op2ca_critpath_kind_seconds",
+					append([]obs.Label{{Key: "kind", Value: k.String()}}, extra...), v)
+			}
+		}
+		for r := 0; r < p.Ranks; r++ {
+			if v, ok := p.Path.ByRank[int32(r)]; ok {
+				mw.Sample("op2ca_critpath_rank_seconds",
+					append([]obs.Label{{Key: "rank", Value: fmt.Sprint(r)}}, extra...), v)
+			}
+		}
+		mw.Sample("op2ca_imbalance_ratio", extra, p.Imbalance.Ratio)
+		for r, v := range p.Imbalance.ComputeByRank {
+			mw.Sample("op2ca_imbalance_compute_seconds",
+				append([]obs.Label{{Key: "rank", Value: fmt.Sprint(r)}}, extra...), v)
+		}
+		for _, cc := range p.Comm {
+			for _, c := range []struct {
+				cause string
+				v     float64
+			}{{"late", cc.WaitLate}, {"nic", cc.WaitNIC}, {"retry", cc.WaitRetry}, {"transit", cc.WaitTransit}} {
+				mw.Sample("op2ca_comm_wait_seconds",
+					append([]obs.Label{{Key: "owner", Value: cc.Name}, {Key: "cause", Value: c.cause}}, extra...), c.v)
+			}
 		}
 	}
 }

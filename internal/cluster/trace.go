@@ -28,19 +28,29 @@ func (b *Backend) emitPackSpans(name string, sendBytes []int64) {
 	}
 }
 
-// emitSendSpans records one Send span per message on the sender's track,
-// reproducing netsim's per-sender NIC serialisation: the first message of
-// a rank starts at its post time, each further message starts when the
-// previous one left.
-func (b *Backend) emitSendSpans(name string, post []float64, msgs []netsim.Message, arrivals []float64) {
+// sendStartTimes replays netsim's per-sender NIC serialisation to recover
+// each message's transmission start: the first message of a rank starts at
+// its post time, each further message starts when the previous one left
+// (its final attempt's arrival, under retransmission).
+func sendStartTimes(post []float64, msgs []netsim.Message, arrivals []float64) []float64 {
+	starts := make([]float64, len(msgs))
 	busy := make(map[int32]float64, len(post))
 	for i, msg := range msgs {
 		start, ok := busy[msg.From]
 		if !ok {
 			start = post[msg.From]
 		}
-		b.tracer.Emit(msg.From, obs.TrackExec, obs.Send, name, start, arrivals[i], msg.Bytes)
+		starts[i] = start
 		busy[msg.From] = arrivals[i]
+	}
+	return starts
+}
+
+// emitSendSpans records one Send span per message on the sender's track,
+// from its NIC transmission start (see sendStartTimes) to its arrival.
+func (b *Backend) emitSendSpans(name string, starts []float64, msgs []netsim.Message, arrivals []float64) {
+	for i, msg := range msgs {
+		b.tracer.Emit(msg.From, obs.TrackExec, obs.Send, name, starts[i], arrivals[i], msg.Bytes)
 	}
 }
 
@@ -50,14 +60,23 @@ func (b *Backend) emitSendSpans(name string, post []float64, msgs []netsim.Messa
 // computation yields a zero-length span — still one span per neighbour
 // message, so traces expose the paper's Figure 5 (one exchange per loop)
 // versus Figure 8 (one grouped exchange per chain) contrast structurally.
+// Each message also contributes an EdgeMsg causal edge carrying the times
+// the critical-path and wait-attribution analyses need: the sender's post
+// (pack and staging done), the NIC transmission start, the arrival and the
+// receiver's wait start.
 func (b *Backend) emitWaitSpans(name string, r int, ready float64, inbound []int,
-	msgs []netsim.Message, arrivals []float64) {
+	msgs []netsim.Message, arrivals, post, starts []float64) {
 	for _, i := range inbound {
 		end := arrivals[i]
 		if end < ready {
 			end = ready
 		}
 		b.tracer.Emit(int32(r), obs.TrackExec, obs.Wait, name, ready, end, msgs[i].Bytes)
+		b.tracer.EmitEdge(obs.Edge{
+			Kind: obs.EdgeMsg, Name: name, From: msgs[i].From, To: int32(r),
+			Post: post[msgs[i].From], Begin: starts[i], End: arrivals[i],
+			Ready: ready, Bytes: msgs[i].Bytes,
+		})
 	}
 }
 

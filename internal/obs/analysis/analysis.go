@@ -1,0 +1,302 @@
+// Package analysis turns one trace epoch's flat span record into an
+// explanation of the run: the span-DAG critical path (which rank's
+// pack/send/wait/compute sequence actually bounded the virtual makespan,
+// attributed per kind, rank and loop), rank×rank communication matrices
+// with wait-time attribution (late sender vs NIC serialisation vs retry
+// backoff vs transit), and the compute load-imbalance ratio.
+//
+// The inputs are exactly what the cluster back-end emits through obs: spans
+// on per-rank timelines plus causal edges (message, retry, reduce). Because
+// both are derived from the deterministic virtual-time arithmetic, the
+// analysis is deterministic too, and because it runs strictly after the
+// simulation it can never perturb a clock.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"op2ca/internal/obs"
+)
+
+// Profile is the full analysis of one trace epoch.
+type Profile struct {
+	// Label is the epoch label (backend name, rank count, machine).
+	Label string
+	// Ranks is the number of ranks observed in the epoch.
+	Ranks int
+	// Makespan is the epoch's last span end — the run's MaxClock.
+	Makespan float64
+	// Path is the critical path; Path.Length == Makespan within tolerance.
+	Path CritPath
+	// Imbalance summarises per-rank compute load.
+	Imbalance Imbalance
+	// Comm holds one communication matrix per exchange owner (chain or
+	// kernel name), sorted by name.
+	Comm []*ChainComm
+}
+
+// Imbalance is the per-epoch compute load-imbalance summary: the classic
+// max/mean ratio over per-rank compute time (core plus redundant halo
+// iterations — redundant work is real work a rank's clock pays for).
+type Imbalance struct {
+	ComputeByRank    []float64
+	Max, Mean, Ratio float64
+}
+
+// ChainComm is the communication profile of one exchange owner: totals,
+// rank×rank matrices (row-major, index From*Ranks+To) and the wait-time
+// decomposition. Wait is receiver-observed blocking (arrival minus wait
+// start, when positive); its components partition it exactly:
+//
+//	WaitLate    — the sender had not finished packing/staging yet
+//	WaitNIC     — the message sat behind earlier messages on the sender's NIC
+//	WaitRetry   — retransmission timeout and backoff intervals
+//	WaitTransit — the wire time of the (final) attempt itself
+type ChainComm struct {
+	Name  string
+	Ranks int
+	Msgs  int64
+	Bytes int64
+
+	Wait        float64
+	WaitLate    float64
+	WaitNIC     float64
+	WaitRetry   float64
+	WaitTransit float64
+
+	BytesMat []int64
+	MsgsMat  []int64
+	WaitMat  []float64
+}
+
+// Analyze profiles one epoch of the tracer. A nil or empty tracer yields
+// nil.
+func Analyze(t *obs.Tracer, epoch int32) *Profile {
+	if !t.Enabled() {
+		return nil
+	}
+	var spans []obs.Span
+	for _, s := range t.Spans() {
+		if s.Epoch == epoch {
+			spans = append(spans, s)
+		}
+	}
+	var edges []obs.Edge
+	for _, e := range t.Edges() {
+		if e.Epoch == epoch {
+			edges = append(edges, e)
+		}
+	}
+	return New(t.EpochLabel(epoch), spans, edges)
+}
+
+// New builds a Profile from one epoch's spans and edges directly; Analyze
+// is the Tracer entry point, New the hand-built-DAG one (tests, tools).
+func New(label string, spans []obs.Span, edges []obs.Edge) *Profile {
+	if len(spans) == 0 {
+		return nil
+	}
+	nranks := 0
+	makespan := 0.0
+	for _, s := range spans {
+		if int(s.Rank) >= nranks {
+			nranks = int(s.Rank) + 1
+		}
+		if s.End > makespan {
+			makespan = s.End
+		}
+	}
+	for _, e := range edges {
+		if int(e.From) >= nranks {
+			nranks = int(e.From) + 1
+		}
+		if int(e.To) >= nranks {
+			nranks = int(e.To) + 1
+		}
+	}
+	return &Profile{
+		Label:     label,
+		Ranks:     nranks,
+		Makespan:  makespan,
+		Path:      criticalPath(spans, edges),
+		Imbalance: imbalance(nranks, spans),
+		Comm:      commMatrices(nranks, edges),
+	}
+}
+
+func imbalance(nranks int, spans []obs.Span) Imbalance {
+	im := Imbalance{ComputeByRank: make([]float64, nranks)}
+	for _, s := range spans {
+		if s.Kind == obs.Compute || s.Kind == obs.Redundant {
+			im.ComputeByRank[s.Rank] += s.Dur()
+		}
+	}
+	var sum float64
+	for _, v := range im.ComputeByRank {
+		sum += v
+		if v > im.Max {
+			im.Max = v
+		}
+	}
+	if nranks > 0 {
+		im.Mean = sum / float64(nranks)
+	}
+	if im.Mean > 0 {
+		im.Ratio = im.Max / im.Mean
+	}
+	return im
+}
+
+func commMatrices(nranks int, edges []obs.Edge) []*ChainComm {
+	byName := map[string]*ChainComm{}
+	var retries []obs.Edge
+	for _, e := range edges {
+		if e.Kind == obs.EdgeRetry {
+			retries = append(retries, e)
+		}
+	}
+	for _, e := range edges {
+		if e.Kind != obs.EdgeMsg {
+			continue
+		}
+		cc := byName[e.Name]
+		if cc == nil {
+			cc = &ChainComm{
+				Name: e.Name, Ranks: nranks,
+				BytesMat: make([]int64, nranks*nranks),
+				MsgsMat:  make([]int64, nranks*nranks),
+				WaitMat:  make([]float64, nranks*nranks),
+			}
+			byName[e.Name] = cc
+		}
+		idx := int(e.From)*nranks + int(e.To)
+		cc.Msgs++
+		cc.Bytes += e.Bytes
+		cc.MsgsMat[idx]++
+		cc.BytesMat[idx] += e.Bytes
+
+		w := e.End - e.Ready
+		if w <= 0 {
+			continue // fully hidden by the receiver's core computation
+		}
+		cc.Wait += w
+		cc.WaitMat[idx] += w
+		late := math.Min(e.Post, e.End) - e.Ready
+		if late < 0 {
+			late = 0
+		}
+		nic := e.Begin - math.Max(e.Post, e.Ready)
+		if nic < 0 {
+			nic = 0
+		}
+		winB := math.Max(e.Begin, e.Ready)
+		var retryT float64
+		for _, re := range retries {
+			if re.From != e.From || re.Name != e.Name || re.End <= e.Begin || re.Begin >= e.End {
+				continue
+			}
+			if d := math.Min(re.End, e.End) - math.Max(re.Begin, winB); d > 0 {
+				retryT += d
+			}
+		}
+		transit := (e.End - winB) - retryT
+		if transit < 0 {
+			transit = 0
+		}
+		cc.WaitLate += late
+		cc.WaitNIC += nic
+		cc.WaitRetry += retryT
+		cc.WaitTransit += transit
+	}
+	out := make([]*ChainComm, 0, len(byName))
+	for _, cc := range byName {
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Report renders the profile as a compact human-readable block, one fact
+// per line, deterministically ordered.
+func (p *Profile) Report() string {
+	if p == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path: %.9fs over %d segments (makespan %.9fs, sink rank %d, %d edge hops)\n",
+		p.Path.Length, len(p.Path.Segments), p.Makespan, p.Path.Sink, len(p.Path.Edges))
+	if p.Path.Length > 0 {
+		sb.WriteString("  by kind:")
+		for _, kv := range sortedShares(kindShares(p.Path.ByKind)) {
+			fmt.Fprintf(&sb, " %s %.1f%%", kv.key, 100*kv.val/p.Path.Length)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(p.Path.ByName) > 0 && p.Path.Length > 0 {
+		sb.WriteString("  by loop:")
+		shares := sortedShares(nameShares(p.Path.ByName))
+		for i, kv := range shares {
+			if i == 5 {
+				fmt.Fprintf(&sb, " … (%d more)", len(shares)-i)
+				break
+			}
+			fmt.Fprintf(&sb, " %s %.1f%%", kv.key, 100*kv.val/p.Path.Length)
+		}
+		sb.WriteByte('\n')
+	}
+	for i, e := range p.Path.Edges {
+		if i == 5 {
+			break
+		}
+		if i == 0 {
+			sb.WriteString("  top blocking edges:\n")
+		}
+		fmt.Fprintf(&sb, "    %-6s %s %d->%d %dB %.9fs\n", e.Kind, e.Name, e.From, e.To, e.Bytes, e.Dur())
+	}
+	fmt.Fprintf(&sb, "imbalance: compute max/mean = %.3f (max %.9fs, mean %.9fs)\n",
+		p.Imbalance.Ratio, p.Imbalance.Max, p.Imbalance.Mean)
+	for _, cc := range p.Comm {
+		fmt.Fprintf(&sb, "comm %-16s %5d msgs %10dB wait %.9fs", cc.Name, cc.Msgs, cc.Bytes, cc.Wait)
+		if cc.Wait > 0 {
+			fmt.Fprintf(&sb, " (late %.1f%%, nic %.1f%%, retry %.1f%%, transit %.1f%%)",
+				100*cc.WaitLate/cc.Wait, 100*cc.WaitNIC/cc.Wait,
+				100*cc.WaitRetry/cc.Wait, 100*cc.WaitTransit/cc.Wait)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+type share struct {
+	key string
+	val float64
+}
+
+func kindShares(m map[obs.Kind]float64) []share {
+	out := make([]share, 0, len(m))
+	for k, v := range m {
+		out = append(out, share{k.String(), v})
+	}
+	return out
+}
+
+func nameShares(m map[string]float64) []share {
+	out := make([]share, 0, len(m))
+	for k, v := range m {
+		out = append(out, share{k, v})
+	}
+	return out
+}
+
+func sortedShares(s []share) []share {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].val != s[j].val {
+			return s[i].val > s[j].val
+		}
+		return s[i].key < s[j].key
+	})
+	return s
+}

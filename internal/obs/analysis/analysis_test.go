@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"op2ca/internal/obs"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
+
+// TestTwoRankTwoLoopChainKnownPath hand-builds the DAG of a two-rank CA
+// chain "c" over loops k1, k2. Rank 0 packs, computes and sends two
+// serialised messages to rank 1; rank 1 computes its core, waits on both
+// messages and runs the redundant halo loops. The longest path is known
+// exactly: r1's halo work <- the second message's arrival <- r0's NIC
+// serialisation <- r0's pack.
+func TestTwoRankTwoLoopChainKnownPath(t *testing.T) {
+	spans := []obs.Span{
+		{Rank: 0, Kind: obs.Pack, Name: "c", Begin: 0, End: 1, Bytes: 150},
+		{Rank: 0, Kind: obs.Compute, Name: "k1", Begin: 1, End: 5},
+		{Rank: 0, Kind: obs.Compute, Name: "k2", Begin: 5, End: 8},
+		{Rank: 0, Kind: obs.Send, Name: "c", Begin: 1, End: 6, Bytes: 100},
+		{Rank: 0, Kind: obs.Send, Name: "c", Begin: 6, End: 8, Bytes: 50},
+		{Rank: 1, Kind: obs.Compute, Name: "k1", Begin: 1, End: 3},
+		{Rank: 1, Kind: obs.Compute, Name: "k2", Begin: 3, End: 5},
+		{Rank: 1, Kind: obs.Wait, Name: "c", Begin: 5, End: 6, Bytes: 100},
+		{Rank: 1, Kind: obs.Wait, Name: "c", Begin: 5, End: 8, Bytes: 50},
+		{Rank: 1, Kind: obs.Redundant, Name: "k1", Begin: 8, End: 9},
+		{Rank: 1, Kind: obs.Redundant, Name: "k2", Begin: 9, End: 10},
+	}
+	edges := []obs.Edge{
+		{Kind: obs.EdgeMsg, From: 0, To: 1, Name: "c", Post: 1, Begin: 1, End: 6, Ready: 5, Bytes: 100},
+		{Kind: obs.EdgeMsg, From: 0, To: 1, Name: "c", Post: 1, Begin: 6, End: 8, Ready: 5, Bytes: 50},
+	}
+	p := New("test", spans, edges)
+	if p == nil {
+		t.Fatal("nil profile")
+	}
+	if p.Ranks != 2 || !approx(p.Makespan, 10) {
+		t.Fatalf("ranks %d makespan %v", p.Ranks, p.Makespan)
+	}
+	if !approx(p.Path.Length, 10) || p.Path.Sink != 1 {
+		t.Fatalf("path length %v sink %d, want 10 on sink 1", p.Path.Length, p.Path.Sink)
+	}
+	want := []Segment{
+		{Rank: 0, Kind: obs.Pack, Name: "c", Begin: 0, End: 1},
+		{Rank: 0, Kind: obs.Send, Name: "c", Begin: 1, End: 6},
+		{Rank: 0, Kind: obs.Send, Name: "c", Begin: 6, End: 8},
+		{Rank: 1, Kind: obs.Redundant, Name: "k1", Begin: 8, End: 9},
+		{Rank: 1, Kind: obs.Redundant, Name: "k2", Begin: 9, End: 10},
+	}
+	if len(p.Path.Segments) != len(want) {
+		t.Fatalf("got %d segments %+v, want %d", len(p.Path.Segments), p.Path.Segments, len(want))
+	}
+	for i, w := range want {
+		g := p.Path.Segments[i]
+		if g.Rank != w.Rank || g.Kind != w.Kind || g.Name != w.Name || !approx(g.Begin, w.Begin) || !approx(g.End, w.End) {
+			t.Fatalf("segment %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if !approx(p.Path.ByKind[obs.Pack], 1) || !approx(p.Path.ByKind[obs.Send], 7) || !approx(p.Path.ByKind[obs.Redundant], 2) {
+		t.Fatalf("by-kind attribution wrong: %v", p.Path.ByKind)
+	}
+	if !approx(p.Path.ByRank[0], 8) || !approx(p.Path.ByRank[1], 2) {
+		t.Fatalf("by-rank attribution wrong: %v", p.Path.ByRank)
+	}
+	if !approx(p.Path.ByName["c"], 8) || !approx(p.Path.ByName["k1"], 1) || !approx(p.Path.ByName["k2"], 1) {
+		t.Fatalf("by-name attribution wrong: %v", p.Path.ByName)
+	}
+	var sum float64
+	for _, v := range p.Path.ByKind {
+		sum += v
+	}
+	if !approx(sum, p.Path.Length) {
+		t.Fatalf("by-kind sums to %v, path length %v", sum, p.Path.Length)
+	}
+	if len(p.Path.Edges) != 1 || p.Path.Edges[0].Bytes != 50 || !approx(p.Path.Edges[0].Dur(), 2) {
+		t.Fatalf("traversed edges wrong: %+v", p.Path.Edges)
+	}
+
+	if len(p.Comm) != 1 {
+		t.Fatalf("got %d comm entries", len(p.Comm))
+	}
+	cc := p.Comm[0]
+	if cc.Name != "c" || cc.Msgs != 2 || cc.Bytes != 150 {
+		t.Fatalf("comm totals wrong: %+v", cc)
+	}
+	if cc.BytesMat[0*2+1] != 150 || cc.MsgsMat[0*2+1] != 2 || !approx(cc.WaitMat[0*2+1], 4) {
+		t.Fatalf("comm matrices wrong: %+v", cc)
+	}
+	// msg1 waits [5,6] all transit; msg2 waits [5,8]: 1s NIC (behind msg1),
+	// 2s transit. Late sender and retry components are zero.
+	if !approx(cc.Wait, 4) || !approx(cc.WaitLate, 0) || !approx(cc.WaitNIC, 1) ||
+		!approx(cc.WaitRetry, 0) || !approx(cc.WaitTransit, 3) {
+		t.Fatalf("wait attribution wrong: %+v", cc)
+	}
+	if !approx(cc.WaitLate+cc.WaitNIC+cc.WaitRetry+cc.WaitTransit, cc.Wait) {
+		t.Fatal("wait components do not partition wait")
+	}
+
+	// r0 computes 4+3=7s, r1 computes 2+2 and redundantly 1+1 = 6s.
+	if !approx(p.Imbalance.Max, 7) || !approx(p.Imbalance.Mean, 6.5) || !approx(p.Imbalance.Ratio, 7/6.5) {
+		t.Fatalf("imbalance wrong: %+v", p.Imbalance)
+	}
+
+	rep := p.Report()
+	for _, wantStr := range []string{"critical path:", "by kind:", "imbalance:", "comm c", "top blocking edges:"} {
+		if !strings.Contains(rep, wantStr) {
+			t.Fatalf("report missing %q:\n%s", wantStr, rep)
+		}
+	}
+}
+
+// TestRetrySlicing checks that a message edge traversed by the critical
+// path is split into Send and Retry segments by the sender's retry edges,
+// and that the comm wait decomposition charges the same intervals to
+// WaitRetry.
+func TestRetrySlicing(t *testing.T) {
+	spans := []obs.Span{
+		{Rank: 0, Kind: obs.Pack, Name: "x", Begin: 0, End: 1},
+		{Rank: 0, Kind: obs.Send, Name: "x", Begin: 1, End: 9, Bytes: 10},
+		{Rank: 0, Kind: obs.Retry, Name: "x", Begin: 2, End: 4, Bytes: 10},
+		{Rank: 0, Kind: obs.Retry, Name: "x", Begin: 5, End: 6, Bytes: 10},
+		{Rank: 1, Kind: obs.Wait, Name: "x", Begin: 0, End: 9, Bytes: 10},
+		{Rank: 1, Kind: obs.Compute, Name: "k", Begin: 9, End: 10},
+	}
+	edges := []obs.Edge{
+		{Kind: obs.EdgeMsg, From: 0, To: 1, Name: "x", Post: 1, Begin: 1, End: 9, Ready: 0, Bytes: 10},
+		{Kind: obs.EdgeRetry, From: 0, To: 0, Name: "x", Begin: 2, End: 4, Bytes: 10},
+		{Kind: obs.EdgeRetry, From: 0, To: 0, Name: "x", Begin: 5, End: 6, Bytes: 10},
+	}
+	p := New("test", spans, edges)
+	if !approx(p.Path.Length, 10) {
+		t.Fatalf("path length %v, want 10", p.Path.Length)
+	}
+	if !approx(p.Path.ByKind[obs.Retry], 3) || !approx(p.Path.ByKind[obs.Send], 5) ||
+		!approx(p.Path.ByKind[obs.Pack], 1) || !approx(p.Path.ByKind[obs.Compute], 1) {
+		t.Fatalf("retry slicing wrong: %v", p.Path.ByKind)
+	}
+	cc := p.Comm[0]
+	// wait [0,9]: 1s late (sender packing), 3s retry, 5s transit.
+	if !approx(cc.Wait, 9) || !approx(cc.WaitLate, 1) || !approx(cc.WaitNIC, 0) ||
+		!approx(cc.WaitRetry, 3) || !approx(cc.WaitTransit, 5) {
+		t.Fatalf("wait attribution wrong: %+v", cc)
+	}
+}
+
+// TestIdleGap checks that stretches of the path no span or edge explains
+// are attributed to the synthetic Idle kind — and still tile the makespan.
+func TestIdleGap(t *testing.T) {
+	spans := []obs.Span{
+		{Rank: 0, Kind: obs.Compute, Name: "a", Begin: 0, End: 1},
+		{Rank: 0, Kind: obs.Compute, Name: "b", Begin: 3, End: 4},
+	}
+	p := New("test", spans, nil)
+	if !approx(p.Path.Length, 4) || !approx(p.Path.ByKind[obs.Idle], 2) {
+		t.Fatalf("idle gap wrong: length %v by-kind %v", p.Path.Length, p.Path.ByKind)
+	}
+}
+
+// TestReduceEdge checks that a reduction straggler's edge attributes the
+// reduce interval to the straggler's timeline.
+func TestReduceEdge(t *testing.T) {
+	spans := []obs.Span{
+		{Rank: 0, Kind: obs.Compute, Name: "k", Begin: 0, End: 5},
+		{Rank: 0, Kind: obs.Reduce, Name: "k", Begin: 5, End: 7},
+		{Rank: 1, Kind: obs.Compute, Name: "k", Begin: 0, End: 2},
+		{Rank: 1, Kind: obs.Reduce, Name: "k", Begin: 2, End: 7},
+	}
+	edges := []obs.Edge{
+		{Kind: obs.EdgeReduce, From: 0, To: 1, Name: "k", Post: 5, Begin: 5, End: 7, Ready: 2},
+	}
+	p := New("test", spans, edges)
+	if !approx(p.Path.Length, 7) {
+		t.Fatalf("path length %v, want 7", p.Path.Length)
+	}
+	if !approx(p.Path.ByKind[obs.Reduce], 2) || !approx(p.Path.ByKind[obs.Compute], 5) {
+		t.Fatalf("reduce attribution wrong: %v", p.Path.ByKind)
+	}
+	// The path must run through the straggler (rank 0), whichever rank it
+	// ends on.
+	if !approx(p.Path.ByRank[0], 7) {
+		t.Fatalf("by-rank attribution wrong: %v", p.Path.ByRank)
+	}
+}
+
+// TestAnalyzeFiltersEpochs checks the Tracer entry point only sees the
+// requested epoch.
+func TestAnalyzeFiltersEpochs(t *testing.T) {
+	tr := obs.New()
+	e0 := tr.NewEpoch("first")
+	tr.Emit(0, obs.TrackExec, obs.Compute, "k", 0, 1, 0)
+	e1 := tr.NewEpoch("second")
+	tr.Emit(0, obs.TrackExec, obs.Compute, "k", 0, 2, 0)
+	tr.EmitEdge(obs.Edge{Kind: obs.EdgeMsg, From: 0, To: 0, Name: "k", Begin: 0, End: 1})
+	p0, p1 := Analyze(tr, e0), Analyze(tr, e1)
+	if !approx(p0.Makespan, 1) || p0.Label != "first" {
+		t.Fatalf("epoch 0 profile wrong: %+v", p0)
+	}
+	if !approx(p1.Makespan, 2) || p1.Label != "second" || len(p1.Comm) != 1 {
+		t.Fatalf("epoch 1 profile wrong: %+v", p1)
+	}
+	var nilTracer *obs.Tracer
+	if Analyze(nilTracer, 0) != nil {
+		t.Fatal("nil tracer should profile to nil")
+	}
+}

@@ -68,13 +68,19 @@ const (
 	Checkpoint
 	// Restore marks a backend resuming from a snapshot.
 	Restore
+	// Idle is never emitted by the runtime: the critical-path analyzer
+	// (package analysis) synthesises Idle segments for stretches of the
+	// longest path not covered by any span or edge — a rank waiting on
+	// causality the trace does not capture explicitly (e.g. a degradation
+	// restart barrier).
+	Idle
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage",
-	"retry", "giveup", "tune", "checkpoint", "restore",
+	"retry", "giveup", "tune", "checkpoint", "restore", "idle",
 }
 
 func (k Kind) String() string {
@@ -122,12 +128,86 @@ type Span struct {
 // Dur returns the span's duration in virtual seconds.
 func (s Span) Dur() float64 { return s.End - s.Begin }
 
+// EdgeKind classifies a causal edge between spans. Edges turn the flat
+// per-rank span timelines into a DAG: intra-rank program order is implicit
+// (spans on one rank are causally ordered by time), edges record the
+// cross-rank and same-rank dependencies that are not.
+type EdgeKind uint8
+
+const (
+	// EdgeMsg is one point-to-point message: transmission start on the
+	// sender (Begin) to arrival at the receiver (End). Post records when
+	// the sender had the message ready (pack and staging done) and Ready
+	// when the receiver started waiting on it, so analysis can split wait
+	// time into late-sender, NIC-serialisation and transit components.
+	EdgeMsg EdgeKind = iota
+	// EdgeRetry is one retransmission interval on the sender (From == To):
+	// from the failed attempt's (non-)arrival through detection timeout and
+	// exponential backoff to the retransmit. Retry edges lie inside their
+	// message edge's [Begin, End] window and let analysis attribute the
+	// retried part of a transfer separately.
+	EdgeRetry
+	// EdgeReduce is a global-reduction dependency: from the last rank to
+	// enter the allreduce (Begin = its entry time) to each other rank's
+	// exit (End). The straggler binds everyone, so the critical path runs
+	// through its edge.
+	EdgeReduce
+
+	numEdgeKinds
+)
+
+var edgeKindNames = [numEdgeKinds]string{"msg", "retry", "reduce"}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return "unknown"
+}
+
+// EdgeKinds lists every edge kind in declaration order.
+func EdgeKinds() []EdgeKind {
+	out := make([]EdgeKind, numEdgeKinds)
+	for i := range out {
+		out[i] = EdgeKind(i)
+	}
+	return out
+}
+
+// Edge is one causal dependency in an epoch's span DAG.
+type Edge struct {
+	Epoch int32
+	Kind  EdgeKind
+	// From and To are the sender and receiver ranks (equal for EdgeRetry).
+	From, To int32
+	// Name is the exchange owner: the chain name for CA chains, the kernel
+	// name for per-loop exchanges and reductions.
+	Name string
+	// Post is when the dependency could first have started moving: the
+	// sender's ready-to-send time for EdgeMsg (pack and staging done), the
+	// straggler's entry time for EdgeReduce.
+	Post float64
+	// Begin and End delimit the edge's own occupancy: NIC transmission
+	// start to arrival for EdgeMsg, failed-attempt arrival to retransmit
+	// for EdgeRetry, straggler entry to reduction exit for EdgeReduce.
+	Begin, End float64
+	// Ready is when the receiver started depending on this edge (its wait
+	// start for EdgeMsg, its own reduction entry for EdgeReduce).
+	Ready float64
+	// Bytes is the payload carried over the edge.
+	Bytes int64
+}
+
+// Dur returns the edge's occupancy duration in virtual seconds.
+func (e Edge) Dur() float64 { return e.End - e.Begin }
+
 // Tracer records spans. The zero value is ready to use; a nil *Tracer is a
 // disabled tracer whose methods all no-op.
 type Tracer struct {
 	mu     sync.Mutex
 	labels []string
 	spans  []Span
+	edges  []Edge
 }
 
 // New returns an enabled tracer.
@@ -138,15 +218,18 @@ func New() *Tracer { return &Tracer{} }
 func (t *Tracer) Enabled() bool { return t != nil }
 
 // NewEpoch opens a new span group — one simulated backend run — and makes
-// it current. The cluster back-end calls it once per construction, so a
-// tracer shared across runs (e.g. a benchmark sweep) keeps them apart.
-func (t *Tracer) NewEpoch(label string) {
+// it current, returning its index. The cluster back-end calls it once per
+// construction, so a tracer shared across runs (e.g. a benchmark sweep)
+// keeps them apart; the returned index addresses the run's spans and edges
+// in later analysis. A nil tracer returns 0.
+func (t *Tracer) NewEpoch(label string) int32 {
 	if t == nil {
-		return
+		return 0
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.labels = append(t.labels, label)
-	t.mu.Unlock()
+	return int32(len(t.labels)) - 1
 }
 
 // Emit records one span in the current epoch. On a nil tracer it returns
@@ -171,6 +254,27 @@ func (t *Tracer) Emit(rank int32, track int8, kind Kind, name string, begin, end
 	t.mu.Unlock()
 }
 
+// EmitEdge records one causal edge in the current epoch (e.Epoch is
+// overwritten). On a nil tracer it returns immediately. Like Emit, edge
+// emission only observes the virtual-time arithmetic — it never feeds back
+// into it.
+func (t *Tracer) EmitEdge(e Edge) {
+	if t == nil {
+		return
+	}
+	if e.End < e.Begin {
+		e.End = e.Begin
+	}
+	t.mu.Lock()
+	epoch := int32(len(t.labels)) - 1
+	if epoch < 0 {
+		epoch = 0
+	}
+	e.Epoch = epoch
+	t.edges = append(t.edges, e)
+	t.mu.Unlock()
+}
+
 // Len returns the number of recorded spans.
 func (t *Tracer) Len() int {
 	if t == nil {
@@ -179,6 +283,16 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.spans)
+}
+
+// NumEdges returns the number of recorded edges.
+func (t *Tracer) NumEdges() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.edges)
 }
 
 // Spans returns a copy of the recorded spans in canonical order: by epoch,
@@ -209,6 +323,41 @@ func (t *Tracer) Spans() []Span {
 		}
 		if a.End != b.End {
 			return a.End > b.End // longer first: containment order for nesting
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Edges returns a copy of the recorded edges in canonical order: by epoch,
+// receiver, end, begin, sender, kind, name. Determinism mirrors Spans.
+func (t *Tracer) Edges() []Edge {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Edge, len(t.edges))
+	copy(out, t.edges)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Begin != b.Begin {
+			return a.Begin < b.Begin
+		}
+		if a.From != b.From {
+			return a.From < b.From
 		}
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind

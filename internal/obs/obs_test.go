@@ -12,10 +12,16 @@ func TestNilTracerIsDisabledNoOp(t *testing.T) {
 	if tr.Enabled() {
 		t.Fatal("nil tracer reports enabled")
 	}
-	tr.NewEpoch("x") // must not panic
+	if e := tr.NewEpoch("x"); e != 0 { // must not panic
+		t.Fatalf("nil tracer NewEpoch = %d", e)
+	}
 	tr.Emit(0, TrackExec, Compute, "k", 0, 1, 0)
+	tr.EmitEdge(Edge{Kind: EdgeMsg, From: 0, To: 1, Begin: 0, End: 1})
 	if tr.Len() != 0 || tr.Spans() != nil {
 		t.Fatal("nil tracer recorded spans")
+	}
+	if tr.NumEdges() != 0 || tr.Edges() != nil {
+		t.Fatal("nil tracer recorded edges")
 	}
 	var buf bytes.Buffer
 	if err := tr.WriteChromeTrace(&buf); err != nil {
@@ -35,7 +41,7 @@ func TestNilTracerIsDisabledNoOp(t *testing.T) {
 }
 
 func TestKindNames(t *testing.T) {
-	want := []string{"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage", "retry", "giveup", "tune", "checkpoint", "restore"}
+	want := []string{"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage", "retry", "giveup", "tune", "checkpoint", "restore", "idle"}
 	kinds := Kinds()
 	if len(kinds) != len(want) {
 		t.Fatalf("Kinds() = %d entries, want %d", len(kinds), len(want))
@@ -47,6 +53,74 @@ func TestKindNames(t *testing.T) {
 	}
 	if Kind(200).String() != "unknown" {
 		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+// TestKindTablesExhaustive pins both name tables to their enums: a kind
+// added without a name would stringify as "" (the array's zero value), and
+// duplicate names would break metric and report labelling. The fixed-size
+// name arrays already make a *missing* entry a compile-time length check
+// impossible (arrays are padded), so this is the runtime guard.
+func TestKindTablesExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		n := k.String()
+		if n == "" || n == "unknown" {
+			t.Errorf("span kind %d has no name", k)
+		}
+		if seen[n] {
+			t.Errorf("span kind name %q duplicated", n)
+		}
+		seen[n] = true
+	}
+	seenE := map[string]bool{}
+	for _, k := range EdgeKinds() {
+		n := k.String()
+		if n == "" || n == "unknown" {
+			t.Errorf("edge kind %d has no name", k)
+		}
+		if seenE[n] {
+			t.Errorf("edge kind name %q duplicated", n)
+		}
+		seenE[n] = true
+	}
+	if want := []string{"msg", "retry", "reduce"}; len(EdgeKinds()) != len(want) {
+		t.Fatalf("EdgeKinds() = %d entries, want %d", len(EdgeKinds()), len(want))
+	}
+	if EdgeKind(200).String() != "unknown" {
+		t.Error("out-of-range edge kind should stringify as unknown")
+	}
+}
+
+func TestEdgesCanonicalOrderAndEpochs(t *testing.T) {
+	tr := New()
+	if e := tr.NewEpoch("a"); e != 0 {
+		t.Fatalf("first epoch = %d", e)
+	}
+	tr.EmitEdge(Edge{Kind: EdgeMsg, From: 1, To: 0, Begin: 2, End: 3})
+	tr.EmitEdge(Edge{Kind: EdgeMsg, From: 0, To: 1, Begin: 0, End: 1})
+	tr.EmitEdge(Edge{Kind: EdgeReduce, From: 2, To: 0, Begin: 1, End: 3})
+	if e := tr.NewEpoch("b"); e != 1 {
+		t.Fatalf("second epoch = %d", e)
+	}
+	tr.EmitEdge(Edge{Kind: EdgeRetry, From: 0, To: 0, Begin: 5, End: 4}) // clamped
+	edges := tr.Edges()
+	if len(edges) != 4 || tr.NumEdges() != 4 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	order := []struct {
+		epoch int32
+		from  int32
+		to    int32
+	}{{0, 2, 0}, {0, 1, 0}, {0, 0, 1}, {1, 0, 0}}
+	for i, w := range order {
+		e := edges[i]
+		if e.Epoch != w.epoch || e.From != w.from || e.To != w.to {
+			t.Fatalf("edge %d = %+v, want epoch %d from %d to %d", i, e, w.epoch, w.from, w.to)
+		}
+	}
+	if edges[3].Dur() != 0 {
+		t.Fatalf("negative-duration edge not clamped: %+v", edges[3])
 	}
 }
 
