@@ -173,6 +173,36 @@ func benchPlanCache(b *testing.B, noCache bool) {
 func BenchmarkChainExecCached(b *testing.B)   { benchPlanCache(b, false) }
 func BenchmarkChainExecUncached(b *testing.B) { benchPlanCache(b, true) }
 
+// BenchmarkChainExecParallel measures wall-clock scaling of the persistent
+// worker-pool rank executor: the same cached-plan CA chain workload as
+// BenchmarkChainExecCached, but compute-sized and built with Parallel on,
+// so `-cpu 1,4,8` sweeps the pool width (the backend sizes its pool from
+// GOMAXPROCS at construction, which -cpu sets per variant). The -cpu 1
+// variant dispatches serially; the ratio of its ns/op to a wider variant's
+// is the host-parallel speedup CI gates on.
+func BenchmarkChainExecParallel(b *testing.B) {
+	m := mesh.RotorForNodes(20000)
+	h := mesh.NewHierarchy(m, 1, true)
+	app := mgcfd.New(h)
+	syn := mgcfd.NewSynthetic(app)
+	cb, err := NewCluster(ClusterConfig{
+		Prog: app.Prog, Primary: app.Primary,
+		Assign: partition.KWay(m.NodeAdjacency(), 16), NParts: 16,
+		Depth: 2, MaxChainLen: 8, CA: true, Parallel: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cb.Close()
+	app.Init(cb)
+	syn.Run(cb, 4, true) // warm: inspection + schedule build on first executions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn.Run(cb, 4, true)
+	}
+}
+
 func BenchmarkHydraIterationCA(b *testing.B) {
 	m := mesh.RotorForNodes(20000)
 	app := hydra.New(m)

@@ -18,6 +18,7 @@ package ca
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"op2ca/internal/core"
@@ -220,27 +221,53 @@ var ErrInfeasible = errors.New("ca: chain infeasible for communication-avoiding 
 // once and reuse the plan across executions (the inspector/executor
 // amortisation the runtime is built around).
 func ChainSignature(loops []core.Loop, configHE []int) string {
-	var b strings.Builder
+	return string(AppendChainSignature(nil, loops, configHE))
+}
+
+// AppendChainSignature appends the chain signature to dst and returns the
+// extended slice. It is the allocation-free form of ChainSignature: callers
+// on a hot path (the executor's plan-cache lookup) pass reusable scratch.
+// The output is byte-identical to ChainSignature's.
+func AppendChainSignature(dst []byte, loops []core.Loop, configHE []int) []byte {
 	for _, l := range loops {
-		b.WriteString(l.Kernel.Name)
-		fmt.Fprintf(&b, "@%d(", l.Set.ID)
+		dst = append(dst, l.Kernel.Name...)
+		dst = append(dst, '@')
+		dst = strconv.AppendInt(dst, int64(l.Set.ID), 10)
+		dst = append(dst, '(')
 		for _, a := range l.Args {
 			if a.IsGlobal() {
-				fmt.Fprintf(&b, "g%d,", int(a.Mode))
+				dst = append(dst, 'g')
+				dst = strconv.AppendInt(dst, int64(a.Mode), 10)
+				dst = append(dst, ',')
 				continue
 			}
 			mapID := -1
 			if a.Indirect() {
 				mapID = a.Map.ID
 			}
-			fmt.Fprintf(&b, "%d.%d.%d.%d,", a.Dat.ID, mapID, a.Idx, int(a.Mode))
+			dst = strconv.AppendInt(dst, int64(a.Dat.ID), 10)
+			dst = append(dst, '.')
+			dst = strconv.AppendInt(dst, int64(mapID), 10)
+			dst = append(dst, '.')
+			dst = strconv.AppendInt(dst, int64(a.Idx), 10)
+			dst = append(dst, '.')
+			dst = strconv.AppendInt(dst, int64(a.Mode), 10)
+			dst = append(dst, ',')
 		}
-		b.WriteByte(')')
+		dst = append(dst, ')')
 	}
 	if len(configHE) > 0 {
-		fmt.Fprintf(&b, "|he%v", configHE)
+		// Matches fmt's %v rendering of []int: "[a b c]".
+		dst = append(dst, "|he["...)
+		for i, he := range configHE {
+			if i > 0 {
+				dst = append(dst, ' ')
+			}
+			dst = strconv.AppendInt(dst, int64(he), 10)
+		}
+		dst = append(dst, ']')
 	}
-	return b.String()
+	return dst
 }
 
 // DatExchange is one dat's contribution to the grouped message exchanged at

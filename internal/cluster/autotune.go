@@ -261,7 +261,7 @@ func (b *Backend) tuneDecide(ct *chainTune, name string, loops []core.Loop, cfgC
 			// (checkpoint-restored, not yet rebuilt) entry counts the same
 			// invalidation the uninterrupted run would have.
 			key := planKey{chain: name, sig: ca.ChainSignature(loops, prev.ChosenPolicy.HE)}
-			if e, ok := b.plans[key]; ok {
+			if e, ok := b.plans[key.chain+"\x00"+key.sig]; ok {
 				b.invalidatePlan(e)
 			} else if b.warmPlans[key] {
 				delete(b.warmPlans, key)

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"sync"
+	"runtime"
 
 	"op2ca/internal/autotune"
 	"op2ca/internal/chaincfg"
@@ -13,6 +13,7 @@ import (
 	"op2ca/internal/faults"
 	"op2ca/internal/halo"
 	"op2ca/internal/machine"
+	"op2ca/internal/model"
 	"op2ca/internal/netsim"
 	"op2ca/internal/obs"
 )
@@ -139,8 +140,10 @@ type Backend struct {
 	tuneSampling *chainTune
 
 	// plans is the execution-plan cache: memoised inspection results and
-	// exchange schedules, keyed by chain structure. See plancache.go.
-	plans             map[planKey]*planEntry
+	// exchange schedules, keyed by chain name + structural signature
+	// (joined with a NUL so steady-state lookups build the key in scratch
+	// bytes without allocating). See plancache.go.
+	plans             map[string]*planEntry
 	planHits          int64
 	planMisses        int64
 	planInvalidations int64
@@ -161,6 +164,104 @@ type Backend struct {
 	// entries must be rebuilt on first use but accounted as cache hits,
 	// so PlanCacheStats continue exactly as in the uninterrupted run.
 	warmPlans map[planKey]bool
+
+	// pool is the persistent fork/join executor behind forEachRank, nil
+	// in serial mode (or on a single-slot machine); see workerpool.go.
+	pool *rankPool
+	// wsc is per-worker kernel-call scratch, indexed by the worker id a
+	// fork hands to its function; wsc[0] serves serial execution.
+	wsc []workerScratch
+	// scr is the per-Backend reusable execution scratch: every per-rank
+	// phase array, key-building buffer and accounting map the hot paths
+	// would otherwise allocate per execution. One fork runs at a time, so
+	// a single instance serves both the standard and chain executors.
+	scr execScratch
+	// recScratch backs ChainBegin/ChainEnd recording without per-chain
+	// allocation; rec points at it while a chain is open.
+	recScratch recording
+	// heCache memoises chaincfg HEOverrides slices per configured chain.
+	heCache map[*chaincfg.Chain]heOverrides
+	// Prebuilt fork functions: the parameters they need live in scr, so
+	// steady-state dispatch creates no closures.
+	fnStdRank   func(w, r int)
+	fnChainPrep func(w, r int)
+	fnChainExec func(w, r int)
+}
+
+// workerScratch is the per-worker reusable state of runLoopOnRank: the
+// kernel view table and per-argument data/map slices. Each executor owns
+// one instance (no sharing, no clearing — every entry read is written
+// first by the same call), padded to keep concurrent workers off each
+// other's cache lines.
+type workerScratch struct {
+	views [][]float64
+	data  [][]float64
+	maps  [][]int32
+	_pad  [8]uint64
+}
+
+// heOverrides memoises one chain configuration's resolved halo-extension
+// overrides for a given loop count.
+type heOverrides struct {
+	n    int
+	over []int
+}
+
+// execScratch holds every reusable buffer of the steady-state execution
+// paths. Fields are grouped by owner; "std" fields belong to runStandard,
+// "chain" fields to runChainImpl. All are sized once (NParts, MaxChainLen)
+// and reused, so cached-plan chain execution allocates nothing per
+// iteration (asserted by TestChainExecZeroAlloc).
+type execScratch struct {
+	// runStandard per-rank phase arrays and fork parameters.
+	stdCoreEnd    []int
+	stdEnd        []int
+	stdPost       []float64
+	stdRecvLast   []float64
+	stdLoop       core.Loop
+	stdIndirect   bool
+	stdExchanging bool
+	stdSendBytes  []int64
+	stdGbl        [][][]float64
+
+	// runChainImpl per-rank × per-loop matrices and fork parameters.
+	chainCores    [][]int
+	chainHalos    [][]int
+	chainExecEnds [][]int
+	chainNxs      [][]nxRange
+	chainPost     []float64
+	chainRecvLast []float64
+	chainLoops    []core.Loop
+	chainHE       []int
+	chainHN       []int
+	chainExch     bool
+	chainSend     []int64
+
+	// Per-chain work vectors (iteration-time table, model parameters).
+	g  []float64
+	lp []model.LoopParams
+
+	// Stats-accounting maps, cleared per use (clear() frees nothing).
+	neigh   map[[2]int32]bool
+	perRank map[int32]int
+
+	// Key-building byte buffers: chain signatures, plan-cache keys and
+	// schedule fingerprints are built here and looked up via the
+	// alloc-free map[string(buf)] form.
+	sigBuf []byte
+	keyBuf []byte
+	fpBuf  []byte
+
+	// Clean-path delivery scratch (the faulted path allocates freely).
+	arrivals []float64
+	busy     []float64
+
+	// filterNeeds output, aliased by the execution that requested it.
+	filtered []exchangeSpec
+
+	// emptyBytes is a permanently all-zero per-rank byte-count slice,
+	// aliased by exchanges with nothing to send (callers only read it).
+	emptyBytes []int64
 }
 
 // recording buffers the loops of an open chain.
@@ -244,11 +345,21 @@ func New(cfg Config) (*Backend, error) {
 		valid:      make([]validity, len(cfg.Prog.Dats)),
 		clock:      make([]float64, cfg.NParts),
 		stats:      newStats(),
-		plans:      map[planKey]*planEntry{},
+		plans:      map[string]*planEntry{},
 		tunes:      map[tuneKey]*chainTune{},
 		warmPlans:  map[planKey]bool{},
+		heCache:    map[*chaincfg.Chain]heOverrides{},
 		crashArmed: cfg.Faults.CrashAt() != nil,
 	}
+	b.initScratch()
+	workers := 1
+	if cfg.Parallel && cfg.NParts > 1 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > cfg.NParts {
+			workers = cfg.NParts
+		}
+	}
+	b.installPool(workers)
 	if err := b.net.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: machine %s: %v", cfg.Machine.Name, err)
 	}
@@ -335,13 +446,17 @@ func (b *Backend) maxClock() float64 {
 func (b *Backend) NParts() int { return b.cfg.NParts }
 
 // ChainBegin implements core.Backend: start recording a loop-chain. An
-// explicit chain boundary flushes any lazily queued loops first.
+// explicit chain boundary flushes any lazily queued loops first. The
+// recording reuses one Backend-owned buffer, so steady-state chain
+// re-execution records without allocating.
 func (b *Backend) ChainBegin(name string) {
 	if b.rec != nil {
 		panic(fmt.Sprintf("cluster: nested loop-chain %q inside %q", name, b.rec.name))
 	}
 	b.FlushLazy()
-	b.rec = &recording{name: name}
+	b.recScratch.name = name
+	b.recScratch.loops = b.recScratch.loops[:0]
+	b.rec = &b.recScratch
 }
 
 // ChainEnd implements core.Backend: execute the recorded chain, with
@@ -484,42 +599,124 @@ func (b *Backend) ScatterDat(d *core.Dat, global []float64) {
 	b.valid[d.ID] = validity{exec: b.cfg.Depth, nonexec: b.cfg.Depth}
 }
 
-// forEachRank runs f for every rank, in parallel when configured. f must
-// only touch rank-local state.
-func (b *Backend) forEachRank(f func(r int)) {
-	if !b.cfg.Parallel || b.cfg.NParts == 1 {
+// forEachRank runs f(w, r) for every rank r, through the persistent worker
+// pool when one is installed (Parallel mode on a multi-slot machine), else
+// serially on the caller's goroutine as worker 0. f must only touch state
+// owned by rank r, plus per-worker scratch indexed by w. Worker panics are
+// re-raised on the caller's goroutine (see rankPool.forEach), so panic
+// semantics are identical in serial and parallel modes.
+func (b *Backend) forEachRank(f func(w, r int)) {
+	if b.pool == nil {
 		for r := 0; r < b.cfg.NParts; r++ {
-			f(r)
+			f(0, r)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for r := 0; r < b.cfg.NParts; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			f(r)
-		}(r)
-	}
-	wg.Wait()
+	b.pool.forEach(b.cfg.NParts, f)
 }
 
-// runLoopOnRank executes iterations [lo, hi) of loop l on rank r. Ranges
-// within the executable region run in the layout's canonical ExecOrder
-// (ascending global index), so indirect increments accumulate identically
-// on every rank and every execution policy — per-loop, CA at any depth —
-// and match the sequential reference bit for bit. Non-execute refresh
-// ranges write elementwise and run in storage order. gblScratch, when
-// non-nil, holds per-argument redirection buffers for global reduction
-// arguments.
-func (b *Backend) runLoopOnRank(r int, l core.Loop, lo, hi int, gblScratch [][]float64) {
+// installPool sets the fork/join executor to the given worker count (1
+// removes the pool: serial dispatch) and sizes the per-worker scratch to
+// match. Tests use it to force multi-worker pools on single-slot machines.
+func (b *Backend) installPool(workers int) {
+	if b.pool != nil {
+		b.pool.close()
+		b.pool = nil
+	}
+	if workers > 1 {
+		b.pool = newRankPool(workers)
+		// The pool's goroutines reference only the pool, so an
+		// unreachable Backend can be collected; the finalizer then stops
+		// the workers. Close does the same deterministically.
+		runtime.SetFinalizer(b, (*Backend).finalize)
+	}
+	n := workers
+	if n < 1 {
+		n = 1
+	}
+	if len(b.wsc) < n {
+		b.wsc = make([]workerScratch, n)
+	}
+}
+
+func (b *Backend) finalize() { b.Close() }
+
+// Close stops the worker pool's goroutines; subsequent executions run
+// serially (results are identical either way). Optional — an unreachable
+// Backend's pool is stopped by a finalizer — but deterministic for callers
+// that construct many parallel backends.
+func (b *Backend) Close() {
+	if b.pool != nil {
+		b.pool.close()
+		b.pool = nil
+		runtime.SetFinalizer(b, nil)
+	}
+}
+
+// workers returns the executor count of the current dispatch setup.
+func (b *Backend) workers() int {
+	if b.pool == nil {
+		return 1
+	}
+	return b.pool.workers
+}
+
+// initScratch sizes the per-Backend execution scratch from the
+// configuration. Chain matrices are MaxChainLen wide; every per-rank array
+// is NParts long.
+func (b *Backend) initScratch() {
+	n, cl := b.cfg.NParts, b.cfg.MaxChainLen
+	s := &b.scr
+	s.stdCoreEnd = make([]int, n)
+	s.stdEnd = make([]int, n)
+	s.stdPost = make([]float64, n)
+	s.stdRecvLast = make([]float64, n)
+	s.chainPost = make([]float64, n)
+	s.chainRecvLast = make([]float64, n)
+	s.chainCores = make([][]int, n)
+	s.chainHalos = make([][]int, n)
+	s.chainExecEnds = make([][]int, n)
+	s.chainNxs = make([][]nxRange, n)
+	flatI := make([]int, 3*n*cl)
+	flatNx := make([]nxRange, n*cl)
+	for r := 0; r < n; r++ {
+		s.chainCores[r] = flatI[(3*r+0)*cl : (3*r+1)*cl]
+		s.chainHalos[r] = flatI[(3*r+1)*cl : (3*r+2)*cl]
+		s.chainExecEnds[r] = flatI[(3*r+2)*cl : (3*r+3)*cl]
+		s.chainNxs[r] = flatNx[r*cl : (r+1)*cl]
+	}
+	s.g = make([]float64, cl)
+	s.lp = make([]model.LoopParams, cl)
+	s.neigh = map[[2]int32]bool{}
+	s.perRank = map[int32]int{}
+	s.busy = make([]float64, n)
+	s.emptyBytes = make([]int64, n)
+	b.fnStdRank = func(w, r int) { b.stdRank(w, r) }
+	b.fnChainPrep = func(w, r int) { b.chainPrepRank(w, r) }
+	b.fnChainExec = func(w, r int) { b.chainExecRank(w, r) }
+}
+
+// runLoopOnRank executes iterations [lo, hi) of loop l on rank r, as
+// worker w (indexing the per-worker view/data/map scratch). Ranges within
+// the executable region run in the layout's canonical ExecOrder (ascending
+// global index), so indirect increments accumulate identically on every
+// rank and every execution policy — per-loop, CA at any depth — and match
+// the sequential reference bit for bit. Non-execute refresh ranges write
+// elementwise and run in storage order. gblScratch, when non-nil, holds
+// per-argument redirection buffers for global reduction arguments.
+func (b *Backend) runLoopOnRank(w, r int, l core.Loop, lo, hi int, gblScratch [][]float64) {
 	if lo >= hi {
 		return
 	}
 	nargs := len(l.Args)
-	views := make([][]float64, l.NumViews())
-	data := make([][]float64, nargs)
-	maps := make([][]int32, nargs)
+	// Reused per-worker tables. Stale entries at global-argument positions
+	// are never read (the view loop below redirects globals to Gbl or the
+	// scratch buffer), and every view slot is rewritten before the kernel
+	// runs, so no clearing is needed.
+	ws := &b.wsc[w]
+	views := growSlices(&ws.views, l.NumViews())
+	data := growSlices(&ws.data, nargs)
+	maps := growMaps(&ws.maps, nargs)
 	for i, a := range l.Args {
 		switch {
 		case a.IsGlobal():
@@ -576,6 +773,24 @@ func (b *Backend) runLoopOnRank(r int, l core.Loop, lo, hi int, gblScratch [][]f
 	for iter := lo; iter < hi; iter++ {
 		run(iter)
 	}
+}
+
+// growSlices returns s resized to n entries, reallocating only on growth.
+func growSlices(s *[][]float64, n int) [][]float64 {
+	if cap(*s) < n {
+		*s = make([][]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growMaps is growSlices for map-index tables.
+func growMaps(s *[][]int32, n int) [][]int32 {
+	if cap(*s) < n {
+		*s = make([][]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // prepareGlobals returns per-rank scratch buffers for global reduction

@@ -30,15 +30,21 @@ func (b *Backend) runChainAuto(name string, loops []core.Loop, cs *ChainStats) {
 
 // overridesFor resolves a chain configuration's per-loop halo-extension
 // overrides; nil for an unconfigured chain, matching ca.Inspect's "no
-// override" convention.
+// override" convention. The resolution is memoised per configured chain
+// (configurations are static for a Backend's lifetime), so steady-state
+// chain execution does not re-derive it.
 func (b *Backend) overridesFor(cfgChain *chaincfg.Chain, n int) []int {
 	if cfgChain == nil {
 		return nil
+	}
+	if c, ok := b.heCache[cfgChain]; ok && c.n == n {
+		return c.over
 	}
 	over, err := cfgChain.HEOverrides(n)
 	if err != nil {
 		panic("cluster: " + err.Error())
 	}
+	b.heCache[cfgChain] = heOverrides{n: n, over: over}
 	return over
 }
 
@@ -120,7 +126,8 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	exchanging := len(res.msgs) > 0
 
 	n := len(loops)
-	g := make([]float64, n)
+	sc := &b.scr
+	g := sc.g[:n]
 	for i, l := range loops {
 		g[i] = m.IterTime(l.Kernel)
 	}
@@ -131,42 +138,15 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	// post depends only on the pre-chain clocks, so hoisting it ahead of
 	// loop execution changes nothing — and a window that degrades to
 	// per-loop execution must not have run its loops (Inc arguments would
-	// double-apply).
-	type nxRange struct{ lo, hi int }
+	// double-apply). The per-rank × per-loop matrices and the fork
+	// parameters live in Backend scratch: prebuilt fork functions, no
+	// per-execution allocation.
 	nparts := b.cfg.NParts
-	coreEnds := make([][]int, nparts)
-	haloIters := make([][]int, nparts)
-	execEnds := make([][]int, nparts)
-	nxs := make([][]nxRange, nparts)
-	post := make([]float64, nparts)
-	b.forEachRank(func(r int) {
-		lay := b.layouts[r]
-		cores := make([]int, n)
-		halos := make([]int, n)
-		execEnd := make([]int, n)
-		nx := make([]nxRange, n)
-		for i, l := range loops {
-			sl := lay.SetL(l.Set)
-			e := sl.ExecEnd(plan.HE[i])
-			c := e
-			if exchanging {
-				c = min(sl.CorePrefix(i), e)
-			}
-			cores[i], execEnd[i] = c, e
-			halos[i] = e - c
-			if plan.HN[i] > 0 {
-				// Direct loops additionally refresh non-execute halo
-				// copies of their outputs by iterating them.
-				nx[i] = nxRange{int(sl.NonexecStart[0]), int(sl.NonexecStart[plan.HN[i]])}
-				halos[i] += nx[i].hi - nx[i].lo
-			}
-		}
-		coreEnds[r], haloIters[r], execEnds[r], nxs[r] = cores, halos, execEnd, nx
-		post[r] = b.clock[r] + float64(res.sendBytes[r])/m.PackRate
-		if !b.cfg.GPUDirect {
-			post[r] += m.StageTime(res.sendBytes[r])
-		}
-	})
+	coreEnds, haloIters := sc.chainCores, sc.chainHalos
+	post := sc.chainPost
+	sc.chainLoops, sc.chainHE, sc.chainHN = loops, plan.HE, plan.HN
+	sc.chainExch, sc.chainSend = exchanging, res.sendBytes
+	b.forEachRank(b.fnChainPrep)
 
 	maxR := b.maxRetriesFor(cfgChain)
 	d := b.deliver(post, res.msgs, name, maxR)
@@ -225,21 +205,10 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	}
 	arrivals := d.arrivals
 
-	b.forEachRank(func(r int) {
-		execEnd, nx := execEnds[r], nxs[r]
-		// Data effects: each loop runs completely, in chain order, in the
-		// canonical element order (see runLoopOnRank) — exactly the
-		// sequence the sequential reference and the per-loop path apply.
-		// Algorithm 2's core/halo phase split (lines 8-18) lives entirely
-		// in the virtual-time arithmetic below; splitting the data pass
-		// too would re-order float accumulations per rank and policy.
-		for i, l := range loops {
-			b.runLoopOnRank(r, l, 0, execEnd[i], nil)
-			b.runLoopOnRank(r, l, nx[i].lo, nx[i].hi, nil)
-		}
-	})
+	b.forEachRank(b.fnChainExec)
 	gpuDirect := b.cfg.GPUDirect && m.GPU != nil
-	recvLast := make([]float64, b.cfg.NParts)
+	recvLast := sc.chainRecvLast
+	clear(recvLast)
 	for i, msg := range res.msgs {
 		if arrivals[i] > recvLast[msg.To] {
 			recvLast[msg.To] = arrivals[i]
@@ -348,15 +317,16 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	}
 
 	cs.CAExecutions++
-	cs.HE = append([]int(nil), plan.HE...)
+	cs.HE = append(cs.HE[:0], plan.HE...)
 	cs.Msgs += int64(len(res.msgs))
 	cs.Bytes += bytesTotal(res)
 	cs.DatsExchanged += int64(res.nDats)
 	// Neighbour counts dedup (From, To) pairs: with NoGroupedMsgs a rank
 	// sends several per-dat messages to the same neighbour, and counting
 	// raw messages would inflate the p term of Equation (3).
-	neigh := map[[2]int32]bool{}
-	perRank := map[int32]int{}
+	neigh, perRank := sc.neigh, sc.perRank
+	clear(neigh)
+	clear(perRank)
 	var execMaxMsg int64
 	for _, msg := range res.msgs {
 		if pair := [2]int32{msg.From, msg.To}; !neigh[pair] {
@@ -384,9 +354,9 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 			cs.MaxRankBytes = res.sendBytes[r]
 		}
 	}
-	lp := make([]model.LoopParams, n)
+	lp := sc.lp[:n]
 	for i := 0; i < n; i++ {
-		lp[i].G = g[i]
+		lp[i] = model.LoopParams{G: g[i]}
 	}
 	for r := 0; r < b.cfg.NParts; r++ {
 		for i := 0; i < n; i++ {
@@ -413,6 +383,60 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 		GroupedBytes: float64(execMaxMsg),
 	}, b.modelNet(unpack))
 	cs.Time += b.maxClock() - t0
+}
+
+// nxRange is one loop's non-execute refresh range on one rank (direct
+// loops re-iterate non-execute halo copies of their outputs).
+type nxRange struct{ lo, hi int }
+
+// chainPrepRank is the first fork of a CA chain execution: derive rank r's
+// per-loop iteration ranges (core prefix, execute end, non-execute refresh
+// range) and its send-post time. Parameters arrive via Backend scratch.
+func (b *Backend) chainPrepRank(w, r int) {
+	sc := &b.scr
+	m := b.cfg.Machine
+	loops, he, hn := sc.chainLoops, sc.chainHE, sc.chainHN
+	lay := b.layouts[r]
+	cores, halos := sc.chainCores[r], sc.chainHalos[r]
+	execEnd, nx := sc.chainExecEnds[r], sc.chainNxs[r]
+	for i, l := range loops {
+		sl := lay.SetL(l.Set)
+		e := sl.ExecEnd(he[i])
+		c := e
+		if sc.chainExch {
+			c = min(sl.CorePrefix(i), e)
+		}
+		cores[i], execEnd[i] = c, e
+		halos[i] = e - c
+		nx[i] = nxRange{}
+		if hn[i] > 0 {
+			// Direct loops additionally refresh non-execute halo copies
+			// of their outputs by iterating them.
+			nx[i] = nxRange{int(sl.NonexecStart[0]), int(sl.NonexecStart[hn[i]])}
+			halos[i] += nx[i].hi - nx[i].lo
+		}
+	}
+	post := b.clock[r] + float64(sc.chainSend[r])/m.PackRate
+	if !b.cfg.GPUDirect {
+		post += m.StageTime(sc.chainSend[r])
+	}
+	sc.chainPost[r] = post
+}
+
+// chainExecRank is the data pass of a CA chain execution on rank r: each
+// loop runs completely, in chain order, in the canonical element order
+// (see runLoopOnRank) — exactly the sequence the sequential reference and
+// the per-loop path apply. Algorithm 2's core/halo phase split (lines
+// 8-18) lives entirely in the caller's virtual-time arithmetic; splitting
+// the data pass too would re-order float accumulations per rank and
+// policy.
+func (b *Backend) chainExecRank(w, r int) {
+	sc := &b.scr
+	execEnd, nx := sc.chainExecEnds[r], sc.chainNxs[r]
+	for i, l := range sc.chainLoops {
+		b.runLoopOnRank(w, r, l, 0, execEnd[i], nil)
+		b.runLoopOnRank(w, r, l, nx[i].lo, nx[i].hi, nil)
+	}
 }
 
 func bytesTotal(res exchangeResult) int64 {

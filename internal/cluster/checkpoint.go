@@ -230,8 +230,8 @@ func (b *Backend) Checkpoint(w io.Writer, note string) error {
 		PlanMisses:        b.planMisses,
 		PlanInvalidations: b.planInvalidations,
 	}
-	for key := range b.plans {
-		meta.Plans = append(meta.Plans, ckptPlanKey{Chain: key.chain, Sig: key.sig})
+	for _, e := range b.plans {
+		meta.Plans = append(meta.Plans, ckptPlanKey{Chain: e.key.chain, Sig: e.key.sig})
 	}
 	for key := range b.warmPlans {
 		// Warm keys not yet rebuilt carry over: the uninterrupted run still

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -464,17 +465,26 @@ func TestFloatBitReproducible(t *testing.T) {
 		{"ca", true, true, false},
 		{"autotune", true, true, true},
 	} {
-		a := build()
-		b, err := New(Config{
-			Prog: a.p, Primary: a.nodes, Assign: partition.KWay(m.NodeAdjacency(), nparts),
-			NParts: nparts, Depth: 2, MaxChainLen: 4, CA: tc.ca, AutoTune: tc.tune,
-			Machine: machine.ARCHER2(),
-		})
-		if err != nil {
-			t.Fatal(err)
+		// Every policy runs serially and through a forced multi-worker
+		// pool: host-parallel dispatch must not perturb a single bit
+		// either (kernels keep the canonical data-effect order; the pool
+		// only changes which OS thread applies it).
+		for _, workers := range []int{1, 4} {
+			a := build()
+			b, err := New(Config{
+				Prog: a.p, Primary: a.nodes, Assign: partition.KWay(m.NodeAdjacency(), nparts),
+				NParts: nparts, Depth: 2, MaxChainLen: 4, CA: tc.ca, AutoTune: tc.tune,
+				Parallel: workers > 1, Machine: machine.ARCHER2(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.installPool(workers)
+			a.run(b, steps, tc.chain)
+			name := fmt.Sprintf("%s w=%d vs seq", tc.name, workers)
+			compareExact(t, name, map[string][]float64{
+				"res": b.GatherDat(a.res), "flux": b.GatherDat(a.flux)}, want)
+			b.Close()
 		}
-		a.run(b, steps, tc.chain)
-		compareExact(t, tc.name+" vs seq", map[string][]float64{
-			"res": b.GatherDat(a.res), "flux": b.GatherDat(a.flux)}, want)
 	}
 }

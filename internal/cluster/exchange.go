@@ -40,18 +40,21 @@ type exchangeResult struct {
 // owners' current values); the returned result carries what the virtual
 // network needs to charge time.
 func (b *Backend) doExchange(specs []exchangeSpec, grouped bool) exchangeResult {
+	if len(specs) == 0 {
+		// Nothing to exchange: alias the permanently-zero byte counts
+		// (callers only read them), so dirty-state-clean loops allocate
+		// nothing.
+		return exchangeResult{sendBytes: b.scr.emptyBytes, recvBytes: b.scr.emptyBytes}
+	}
 	res := exchangeResult{
 		sendBytes: make([]int64, b.cfg.NParts),
 		recvBytes: make([]int64, b.cfg.NParts),
 		nDats:     len(specs),
 	}
-	if len(specs) == 0 {
-		return res
-	}
 
 	// Pack.
 	perRank := make([][]*sendBuf, b.cfg.NParts)
-	b.forEachRank(func(r int) {
+	b.forEachRank(func(w, r int) {
 		var bufs []*sendBuf
 		byDest := map[int32]*sendBuf{}
 		for _, sp := range specs {
@@ -103,7 +106,7 @@ func (b *Backend) doExchange(specs []exchangeSpec, grouped bool) exchangeResult 
 	for _, buf := range res.bufs {
 		inbound[buf.to] = append(inbound[buf.to], buf)
 	}
-	b.forEachRank(func(r int) {
+	b.forEachRank(func(w, r int) {
 		if grouped {
 			b.unpackGrouped(r, specs, inbound[r])
 			return
@@ -183,9 +186,10 @@ func (b *Backend) unpackGrouped(r int, specs []exchangeSpec, inbound []*sendBuf)
 
 // filterNeeds drops the parts of the requested exchanges already satisfied
 // by the current validity state and bumps validity for what will be
-// exchanged.
+// exchanged. The returned slice aliases Backend scratch, valid until the
+// next filterNeeds call (each execution filters once before exchanging).
 func (b *Backend) filterNeeds(specs []exchangeSpec) []exchangeSpec {
-	var out []exchangeSpec
+	out := b.scr.filtered[:0]
 	for _, sp := range specs {
 		v := &b.valid[sp.dat.ID]
 		needE, needN := 0, 0
@@ -206,6 +210,7 @@ func (b *Backend) filterNeeds(specs []exchangeSpec) []exchangeSpec {
 			v.nonexec = needN
 		}
 	}
+	b.scr.filtered = out
 	return out
 }
 

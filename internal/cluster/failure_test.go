@@ -192,7 +192,7 @@ func TestBeyondHaloDereferencePanics(t *testing.T) {
 				t.Fatalf("panic %v does not mention beyond halo depth", rec)
 			}
 		}()
-		b.runLoopOnRank(r, l, int(sl.NonexecStart[0]), int(sl.NonexecStart[1]), nil)
+		b.runLoopOnRank(0, r, l, int(sl.NonexecStart[0]), int(sl.NonexecStart[1]), nil)
 		return
 	}
 	t.Skip("no rank with non-execute edges in this partition")

@@ -24,35 +24,16 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 	g := m.IterTime(l.Kernel)
 	launch := m.LaunchOverhead()
 
-	coreEnd := make([]int, b.cfg.NParts)
-	end := make([]int, b.cfg.NParts)
-	post := make([]float64, b.cfg.NParts)
+	// Per-rank phase arrays and fork parameters live in Backend scratch:
+	// the fork function is prebuilt (no closure per call) and the arrays
+	// are reused across executions (no allocation per call).
+	sc := &b.scr
+	coreEnd, end, post := sc.stdCoreEnd, sc.stdEnd, sc.stdPost
 	exchanging := len(res.msgs) > 0
-
-	b.forEachRank(func(r int) {
-		sl := b.layouts[r].SetL(l.Set)
-		e := sl.NOwned
-		if indirect {
-			e = sl.ExecEnd(1)
-		}
-		c := e
-		if exchanging && sl.CorePrefix(0) < e {
-			c = sl.CorePrefix(0)
-		}
-		var gs [][]float64
-		if gbl != nil {
-			gs = gbl[r]
-		}
-		// One canonical-order pass over the whole executable range: the
-		// core/halo split below shapes the virtual-time overlap only, never
-		// the order data effects apply in (see runLoopOnRank).
-		b.runLoopOnRank(r, l, 0, e, gs)
-		coreEnd[r], end[r] = c, e
-		post[r] = b.clock[r] + float64(res.sendBytes[r])/m.PackRate
-		if !b.cfg.GPUDirect {
-			post[r] += m.StageTime(res.sendBytes[r])
-		}
-	})
+	sc.stdLoop, sc.stdIndirect, sc.stdExchanging = l, indirect, exchanging
+	sc.stdSendBytes, sc.stdGbl = res.sendBytes, gbl
+	b.forEachRank(b.fnStdRank)
+	sc.stdGbl = nil
 
 	traceKey := l.Kernel.Name
 	if chainName != "" {
@@ -64,7 +45,8 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 	// (counted as giveups), and execution proceeds.
 	d := b.deliver(post, res.msgs, traceKey, b.maxRetries)
 	arrivals := d.arrivals
-	recvLast := make([]float64, b.cfg.NParts)
+	recvLast := sc.stdRecvLast
+	clear(recvLast)
 	for i, msg := range res.msgs {
 		if arrivals[i] > recvLast[msg.To] {
 			recvLast[msg.To] = arrivals[i]
@@ -175,6 +157,37 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 	b.recordLoopStats(l, chainName, res, coreEnd, end, t0, g, reduceTime)
 }
 
+// stdRank is runStandard's per-rank fork body: one canonical-order pass
+// over the loop's full executable range (the core/halo split shapes the
+// virtual-time overlap only, never the order data effects apply in — see
+// runLoopOnRank), recording the split bounds and the rank's send-post
+// time. Parameters arrive via Backend scratch, published before the fork.
+func (b *Backend) stdRank(w, r int) {
+	sc := &b.scr
+	l := sc.stdLoop
+	m := b.cfg.Machine
+	sl := b.layouts[r].SetL(l.Set)
+	e := sl.NOwned
+	if sc.stdIndirect {
+		e = sl.ExecEnd(1)
+	}
+	c := e
+	if sc.stdExchanging && sl.CorePrefix(0) < e {
+		c = sl.CorePrefix(0)
+	}
+	var gs [][]float64
+	if sc.stdGbl != nil {
+		gs = sc.stdGbl[r]
+	}
+	b.runLoopOnRank(w, r, l, 0, e, gs)
+	sc.stdCoreEnd[r], sc.stdEnd[r] = c, e
+	post := b.clock[r] + float64(sc.stdSendBytes[r])/m.PackRate
+	if !b.cfg.GPUDirect {
+		post += m.StageTime(sc.stdSendBytes[r])
+	}
+	sc.stdPost[r] = post
+}
+
 func (b *Backend) recordLoopStats(l core.Loop, chainName string, res exchangeResult,
 	coreEnd, end []int, t0, g, reduceTime float64) {
 	key := l.Kernel.Name
@@ -189,8 +202,9 @@ func (b *Backend) recordLoopStats(l core.Loop, chainName string, res exchangeRes
 	ls.DatsExchanged += int64(res.nDats)
 	var execMaxMsg int64
 	execMaxNeigh := 0
-	neigh := map[[2]int32]bool{}
-	perRank := make(map[int32]int)
+	neigh, perRank := b.scr.neigh, b.scr.perRank
+	clear(neigh)
+	clear(perRank)
 	for _, msg := range res.msgs {
 		ls.Bytes += msg.Bytes
 		if msg.Bytes > execMaxMsg {

@@ -12,7 +12,7 @@ package cluster
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"op2ca/internal/ca"
 	"op2ca/internal/core"
@@ -28,7 +28,11 @@ import (
 const maxSchedulesPerPlan = 8
 
 // planKey identifies one chain plan: the chain name plus the structural
-// signature of its loops and configured halo-extension overrides.
+// signature of its loops and configured halo-extension overrides. The
+// plans map itself is keyed by the two fields joined with a NUL (see
+// planMapKey), so steady-state lookups build the key in reusable scratch
+// bytes and allocate nothing; planKey survives as the decomposed form the
+// checkpoint container stores and warmPlans is keyed by.
 type planKey struct {
 	chain string
 	sig   string
@@ -36,27 +40,42 @@ type planKey struct {
 
 // planEntry is one cached inspection result and its exchange schedules.
 type planEntry struct {
-	key  planKey
-	plan ca.Plan
-	err  error
+	key    planKey
+	mapKey string // key.chain + "\x00" + key.sig, the plans-map key
+	plan   ca.Plan
+	err    error
 	// specs is plan.Required as exchange specs, precomputed once.
 	specs []exchangeSpec
 	// schedules maps a filtered spec set's fingerprint to its schedule.
 	schedules map[string]*exchangeSchedule
 }
 
+// planMapKey builds the plans-map key for (name, sig) into scratch bytes.
+// The chain name cannot contain NUL (names come from ChainBegin callers
+// and config files), so the join is unambiguous.
+func (b *Backend) planMapKey(name string, sig []byte) []byte {
+	buf := append(b.scr.keyBuf[:0], name...)
+	buf = append(buf, 0)
+	buf = append(buf, sig...)
+	b.scr.keyBuf = buf
+	return buf
+}
+
 // planEntry returns the cached plan for the chain, running ca.Inspect on
 // first use. It returns nil when the cache is disabled, leaving the caller
-// on the uncached path.
+// on the uncached path. The hit path allocates nothing: signature and map
+// key are built in scratch and looked up via the map[string(bytes)] form.
 func (b *Backend) planEntry(name string, loops []core.Loop, overrides []int) *planEntry {
 	if b.cfg.NoPlanCache {
 		return nil
 	}
-	key := planKey{chain: name, sig: ca.ChainSignature(loops, overrides)}
-	if e, ok := b.plans[key]; ok {
+	b.scr.sigBuf = ca.AppendChainSignature(b.scr.sigBuf[:0], loops, overrides)
+	mk := b.planMapKey(name, b.scr.sigBuf)
+	if e, ok := b.plans[string(mk)]; ok {
 		b.planHits++
 		return e
 	}
+	key := planKey{chain: name, sig: string(b.scr.sigBuf)}
 	if b.warmPlans[key] {
 		// Restored from a checkpoint: the uninterrupted run already held
 		// this entry, so the rebuild is accounted as a hit — plan-cache
@@ -72,7 +91,8 @@ func (b *Backend) planEntry(name string, loops []core.Loop, overrides []int) *pl
 
 // buildPlanEntry inspects the chain and caches the result under key.
 func (b *Backend) buildPlanEntry(key planKey, name string, loops []core.Loop, overrides []int) *planEntry {
-	e := &planEntry{key: key, schedules: map[string]*exchangeSchedule{}}
+	e := &planEntry{key: key, mapKey: key.chain + "\x00" + key.sig,
+		schedules: map[string]*exchangeSchedule{}}
 	e.plan, e.err = ca.Inspect(name, loops, overrides)
 	if e.err == nil {
 		e.specs = make([]exchangeSpec, 0, len(e.plan.Required))
@@ -80,7 +100,7 @@ func (b *Backend) buildPlanEntry(key planKey, name string, loops []core.Loop, ov
 			e.specs = append(e.specs, exchangeSpec{dat: r.Dat, execDepth: r.ExecDepth, nonexecDepth: r.NonexecDepth})
 		}
 	}
-	b.plans[key] = e
+	b.plans[e.mapKey] = e
 	return e
 }
 
@@ -98,8 +118,8 @@ func (b *Backend) invalidatePlan(e *planEntry) {
 	if e == nil {
 		return
 	}
-	if _, ok := b.plans[e.key]; ok {
-		delete(b.plans, e.key)
+	if _, ok := b.plans[e.mapKey]; ok {
+		delete(b.plans, e.mapKey)
 		b.planInvalidations++
 	}
 }
@@ -117,21 +137,27 @@ func (e *planEntry) specsFor(plan ca.Plan) []exchangeSpec {
 	return specs
 }
 
-// specFingerprint is a comparable key for a filtered spec set: which dats
-// exchange which shell depths, under which message grouping. The grouping
-// joins the key because the autotuner can run the same plan grouped one
-// window and ungrouped the next; their schedules differ.
-func specFingerprint(specs []exchangeSpec, grouped bool) string {
-	var sb strings.Builder
+// appendSpecFingerprint appends a comparable key for a filtered spec set to
+// dst: which dats exchange which shell depths, under which message grouping.
+// The grouping joins the key because the autotuner can run the same plan
+// grouped one window and ungrouped the next; their schedules differ. Callers
+// pass reusable scratch so the steady-state schedule lookup allocates
+// nothing.
+func appendSpecFingerprint(dst []byte, specs []exchangeSpec, grouped bool) []byte {
 	if grouped {
-		sb.WriteString("g;")
+		dst = append(dst, "g;"...)
 	} else {
-		sb.WriteString("u;")
+		dst = append(dst, "u;"...)
 	}
 	for _, sp := range specs {
-		fmt.Fprintf(&sb, "%d:%d:%d;", sp.dat.ID, sp.execDepth, sp.nonexecDepth)
+		dst = strconv.AppendInt(dst, int64(sp.dat.ID), 10)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(sp.execDepth), 10)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(sp.nonexecDepth), 10)
+		dst = append(dst, ';')
 	}
-	return sb.String()
+	return dst
 }
 
 // packSeg is one contiguous run of a sender's pack work: the elements of
@@ -174,6 +200,11 @@ type exchangeSchedule struct {
 	sendBytes []int64
 	recvBytes []int64
 	nDats     int
+	// packFn/unpackFn are the schedule's fork bodies, built once with the
+	// schedule so replays pass prebuilt functions to forEachRank and
+	// allocate no closures.
+	packFn   func(w, r int)
+	unpackFn func(w, r int)
 }
 
 // exchangeFor runs a chain's halo exchange through the plan cache: the
@@ -185,14 +216,14 @@ func (b *Backend) exchangeFor(entry *planEntry, specs []exchangeSpec, grouped bo
 	if entry == nil || len(specs) == 0 {
 		return b.doExchange(specs, grouped)
 	}
-	fp := specFingerprint(specs, grouped)
-	s, ok := entry.schedules[fp]
+	b.scr.fpBuf = appendSpecFingerprint(b.scr.fpBuf[:0], specs, grouped)
+	s, ok := entry.schedules[string(b.scr.fpBuf)]
 	if !ok {
 		if len(entry.schedules) >= maxSchedulesPerPlan {
 			return b.doExchange(specs, grouped)
 		}
 		s = b.buildSchedule(specs, grouped)
-		entry.schedules[fp] = s
+		entry.schedules[string(b.scr.fpBuf)] = s
 	}
 	return b.runSchedule(s)
 }
@@ -319,6 +350,27 @@ func (b *Backend) buildSchedule(specs []exchangeSpec, grouped bool) *exchangeSch
 				m.from, m.to, nvals, len(m.buf)))
 		}
 	}
+	s.packFn = func(w, r int) {
+		for _, m := range s.bySender[r] {
+			at := 0
+			for _, seg := range m.packSegs {
+				local := b.dats[r][seg.dat.ID]
+				dim := seg.dat.Dim
+				for _, loc := range seg.locals {
+					at += copy(m.buf[at:], local[int(loc)*dim:(int(loc)+1)*dim])
+				}
+			}
+		}
+	}
+	s.unpackFn = func(w, r int) {
+		for _, m := range s.byRecv[r] {
+			at := 0
+			for _, seg := range m.unpackSegs {
+				copy(b.dats[r][seg.dat.ID][seg.start:seg.start+seg.nvals], m.buf[at:at+int(seg.nvals)])
+				at += int(seg.nvals)
+			}
+		}
+	}
 	return s
 }
 
@@ -331,26 +383,7 @@ func (b *Backend) runSchedule(s *exchangeSchedule) exchangeResult {
 	if len(s.msgs) == 0 {
 		return res
 	}
-	b.forEachRank(func(r int) {
-		for _, m := range s.bySender[r] {
-			at := 0
-			for _, seg := range m.packSegs {
-				local := b.dats[r][seg.dat.ID]
-				dim := seg.dat.Dim
-				for _, loc := range seg.locals {
-					at += copy(m.buf[at:], local[int(loc)*dim:(int(loc)+1)*dim])
-				}
-			}
-		}
-	})
-	b.forEachRank(func(r int) {
-		for _, m := range s.byRecv[r] {
-			at := 0
-			for _, seg := range m.unpackSegs {
-				copy(b.dats[r][seg.dat.ID][seg.start:seg.start+seg.nvals], m.buf[at:at+int(seg.nvals)])
-				at += int(seg.nvals)
-			}
-		}
-	})
+	b.forEachRank(s.packFn)
+	b.forEachRank(s.unpackFn)
 	return res
 }

@@ -58,7 +58,8 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 		panic(&faults.CrashError{Rank: c.Rank, Exchange: c.Exchange})
 	}
 	if !plan.Enabled() {
-		arrivals := b.net.Deliver(post, msgs)
+		b.scr.arrivals = b.net.DeliverInto(b.scr.arrivals[:0], b.scr.busy, post, msgs)
+		arrivals := b.scr.arrivals
 		if ct := b.tuneSampling; ct != nil {
 			// Calibration sampling: replay the per-sender serialisation to
 			// recover each message's own span (NIC-ready to arrival). Only

@@ -66,22 +66,26 @@ func (n *Network) MessageTime(bytes int64) float64 {
 // time rank r posts its sends; messages from the same sender serialise on
 // its NIC in slice order. The returned slice parallels msgs.
 func (n *Network) Deliver(post []float64, msgs []Message) []float64 {
+	return n.DeliverInto(make([]float64, 0, len(msgs)), make([]float64, len(post)), post, msgs)
+}
+
+// DeliverInto is Deliver with caller-supplied storage: arrivals are appended
+// to arrival (pass a reusable slice truncated to length 0) and busy, which
+// must have len(post) elements, holds per-sender NIC occupancy during the
+// computation. Hot executors pass scratch so steady-state exchanges allocate
+// nothing; the arithmetic is identical to Deliver's.
+func (n *Network) DeliverInto(arrival, busy, post []float64, msgs []Message) []float64 {
 	if err := n.Validate(); err != nil {
 		panic(err.Error())
 	}
-	arrival := make([]float64, len(msgs))
-	busy := make(map[int32]float64, len(post))
+	copy(busy, post)
 	for i, m := range msgs {
 		if int(m.From) >= len(post) || m.From < 0 {
 			panic(fmt.Sprintf("netsim: message %d from invalid rank %d", i, m.From))
 		}
-		t, ok := busy[m.From]
-		if !ok {
-			t = post[m.From]
-		}
-		t += n.MessageTime(m.Bytes)
+		t := busy[m.From] + n.MessageTime(m.Bytes)
 		busy[m.From] = t
-		arrival[i] = t
+		arrival = append(arrival, t)
 	}
 	return arrival
 }
