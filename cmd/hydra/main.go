@@ -30,6 +30,7 @@ import (
 	"op2ca/internal/mesh"
 	"op2ca/internal/obs"
 	"op2ca/internal/partition"
+	"op2ca/internal/supervise"
 )
 
 func main() {
@@ -56,9 +57,11 @@ func main() {
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.01,straggler=rank3:10x,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
 		ckptFlag = flag.String("checkpoint", "",
-			"periodic snapshots, e.g. every=5,path=ck.bin: checkpoint the backend after every N iterations (requires -backend op2 or ca)")
+			"periodic snapshots, e.g. every=5,path=ck.bin,keep=3: checkpoint the backend after every N iterations, rotating keep=K verified generations (requires -backend op2 or ca)")
 		restorePath = flag.String("restore", "",
 			"resume from a checkpoint file instead of running setup; completed iterations are skipped (requires -backend op2 or ca)")
+		superviseFlag = flag.String("supervise", "",
+			"self-healing supervised execution, e.g. on or budget=8,backoff=1,watchdog=50: catch injected crashes, exchange failures and no-progress stalls, restore from the newest valid checkpoint generation and resume (requires -backend op2 or ca; incompatible with -restore)")
 	)
 	flag.Parse()
 
@@ -70,8 +73,15 @@ func main() {
 		}
 		ckpt = s
 	}
-	if (*ckptFlag != "" || *restorePath != "") && *backendName == "seq" {
-		fatal(fmt.Errorf("-checkpoint/-restore need a distributed backend (op2 or ca)"))
+	svSpec, err := supervise.ParseSpec(*superviseFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if (*ckptFlag != "" || *restorePath != "" || svSpec.Enabled) && *backendName == "seq" {
+		fatal(fmt.Errorf("-checkpoint/-restore/-supervise need a distributed backend (op2 or ca)"))
+	}
+	if svSpec.Enabled && *restorePath != "" {
+		fatal(fmt.Errorf("-supervise and -restore are incompatible: the supervisor recovers from the checkpoint ring itself"))
 	}
 
 	var tracer *obs.Tracer
@@ -115,6 +125,15 @@ func main() {
 	fmt.Printf("mesh: %d nodes, %d edges, %d pedges, %d bnd, %d cbnd\n",
 		m.NNodes, m.NEdges, m.NPedges, m.NBedges, m.NCbnd)
 
+	var ring *checkpoint.Ring
+	if ckpt.Enabled() {
+		r, err := checkpoint.NewRing(ckpt)
+		if err != nil {
+			fatal(err)
+		}
+		ring = r
+	}
+
 	var b core.Backend
 	var cb *cluster.Backend
 	startIter := 0
@@ -144,6 +163,44 @@ func main() {
 			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: tracer, Faults: plan,
 			AutoTune: *autoTune,
 		}
+		if svSpec.Enabled {
+			// Supervised self-healing execution: the supervisor owns the
+			// whole construct/run loop, restoring from the newest valid
+			// checkpoint generation after each caught failure.
+			runner := &supervise.Runner{
+				Spec: svSpec, Plan: plan, Ring: ring, Tracer: tracer,
+				Body: func(st *checkpoint.State, sup *supervise.Supervisor) error {
+					start := 0
+					var err error
+					if st == nil {
+						cb, err = cluster.New(ccfg)
+					} else {
+						cb, err = cluster.RestoreState(st, ccfg)
+					}
+					if err != nil {
+						return err
+					}
+					sup.Adopt(cb)
+					if st != nil {
+						if _, err := fmt.Sscanf(st.Note, "iter=%d", &start); err != nil {
+							return fmt.Errorf("checkpoint note %q is not an iteration marker: %w", st.Note, err)
+						}
+					}
+					b = cb
+					return runIters(b, cb, app, start, *iters, *backendName == "ca", ckpt, ring)
+				},
+			}
+			sup, err := runner.Run()
+			if err != nil {
+				fatal(err)
+			}
+			sup.Finish(cb.Stats())
+			if sv := cb.Stats().Supervise; sv.Restarts > 0 {
+				fmt.Printf("supervise: recovered from %d failures (crash %d exchange %d watchdog %d), %d generations quarantined\n",
+					sv.Restarts, sv.CrashRestarts, sv.ExchangeRestarts, sv.WatchdogTrips, sv.Quarantined)
+			}
+			break
+		}
 		if *restorePath != "" {
 			f, err := os.Open(*restorePath)
 			if err != nil {
@@ -171,30 +228,21 @@ func main() {
 	}
 
 	chained := *backendName == "ca"
-	crash := catchCrash(func() {
-		if *restorePath == "" {
-			app.RunSetup(b, chained)
-		}
-		for it := startIter; it < *iters; it++ {
-			app.RunIteration(b, chained)
-			if ckpt.Enabled() && (it+1)%ckpt.Every == 0 {
-				note := fmt.Sprintf("iter=%d", it+1)
-				if err := checkpoint.AtomicWriteFile(ckpt.Path, func(w io.Writer) error {
-					return cb.Checkpoint(w, note)
-				}); err != nil {
-					fatal(err)
+	if !svSpec.Enabled {
+		crash := supervise.CatchCrash(func() {
+			if err := runIters(b, cb, app, startIter, *iters, chained, ckpt, ring); err != nil {
+				fatal(err)
+			}
+		})
+		if crash != nil {
+			fmt.Fprintf(os.Stderr, "hydra: injected crash of rank %d at exchange %d\n", crash.Rank, crash.Exchange)
+			if ring != nil {
+				if gens, err := ring.Generations(); err == nil && len(gens) > 0 {
+					fmt.Fprintf(os.Stderr, "hydra: resume with -restore %s (drop the crash= clause), or rerun with -supervise on\n", gens[0].Path)
 				}
 			}
+			os.Exit(3)
 		}
-	})
-	if crash != nil {
-		fmt.Fprintf(os.Stderr, "hydra: injected crash of rank %d at exchange %d\n", crash.Rank, crash.Exchange)
-		if ckpt.Enabled() {
-			if _, err := os.Stat(ckpt.Path); err == nil {
-				fmt.Fprintf(os.Stderr, "hydra: resume with -restore %s (drop the crash= clause)\n", ckpt.Path)
-			}
-		}
-		os.Exit(3)
 	}
 	fmt.Printf("backend %s: setup + %d iterations complete\n", b.Name(), *iters)
 	if cb != nil {
@@ -337,19 +385,25 @@ func chainSetup(path string, safe bool) (*chaincfg.Config, int, error) {
 	return cfg, depth, nil
 }
 
-// catchCrash executes fn, converting an injected crash fault (crash=rankN@E)
-// into a reportable value instead of a panic trace.
-func catchCrash(fn func()) (crash *faults.CrashError) {
-	defer func() {
-		if r := recover(); r != nil {
-			c, ok := r.(*faults.CrashError)
-			if !ok {
-				panic(r)
+// runIters drives the time-marching loop from iteration start: run setup on
+// a fresh run, march, and snapshot through the checkpoint ring at the
+// configured cadence.
+func runIters(b core.Backend, cb *cluster.Backend, app *hydra.App,
+	start, iters int, chained bool, ckpt checkpoint.Spec, ring *checkpoint.Ring) error {
+	if start == 0 {
+		app.RunSetup(b, chained)
+	}
+	for it := start; it < iters; it++ {
+		app.RunIteration(b, chained)
+		if ring != nil && ckpt.Enabled() && (it+1)%ckpt.Every == 0 {
+			note := fmt.Sprintf("iter=%d", it+1)
+			if _, err := ring.Write(func(w io.Writer) error {
+				return cb.Checkpoint(w, note)
+			}); err != nil {
+				return err
 			}
-			crash = c
 		}
-	}()
-	fn()
+	}
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"op2ca/internal/mgcfd"
 	"op2ca/internal/obs"
 	"op2ca/internal/partition"
+	"op2ca/internal/supervise"
 )
 
 func main() {
@@ -49,9 +50,11 @@ func main() {
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.01,corrupt=0.002,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
 		ckptFlag = flag.String("checkpoint", "",
-			"periodic snapshots, e.g. every=5,path=ck.bin: checkpoint the backend after every N iterations (requires -backend op2 or ca)")
+			"periodic snapshots, e.g. every=5,path=ck.bin,keep=3: checkpoint the backend after every N iterations, rotating keep=K verified generations (requires -backend op2 or ca)")
 		restorePath = flag.String("restore", "",
 			"resume from a checkpoint file instead of initialising; completed iterations are skipped (requires -backend op2 or ca)")
+		superviseFlag = flag.String("supervise", "",
+			"self-healing supervised execution, e.g. on or budget=8,backoff=1,watchdog=50: catch injected crashes, exchange failures and no-progress stalls, restore from the newest valid checkpoint generation and resume (requires -backend op2 or ca; incompatible with -restore)")
 	)
 	flag.Parse()
 
@@ -63,8 +66,15 @@ func main() {
 		}
 		ckpt = s
 	}
-	if (*ckptFlag != "" || *restorePath != "") && *backendName == "seq" {
-		fatal(fmt.Errorf("-checkpoint/-restore need a distributed backend (op2 or ca)"))
+	svSpec, err := supervise.ParseSpec(*superviseFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if (*ckptFlag != "" || *restorePath != "" || svSpec.Enabled) && *backendName == "seq" {
+		fatal(fmt.Errorf("-checkpoint/-restore/-supervise need a distributed backend (op2 or ca)"))
+	}
+	if svSpec.Enabled && *restorePath != "" {
+		fatal(fmt.Errorf("-supervise and -restore are incompatible: the supervisor recovers from the checkpoint ring itself"))
 	}
 
 	var tracer *obs.Tracer
@@ -86,6 +96,15 @@ func main() {
 	syn := mgcfd.NewSynthetic(app)
 	fmt.Printf("mesh: %d nodes, %d edges, %d multigrid levels\n",
 		m.NNodes, m.NEdges, len(h.Levels))
+
+	var ring *checkpoint.Ring
+	if ckpt.Enabled() {
+		r, err := checkpoint.NewRing(ckpt)
+		if err != nil {
+			fatal(err)
+		}
+		ring = r
+	}
 
 	var b core.Backend
 	var cb *cluster.Backend
@@ -111,6 +130,44 @@ func main() {
 			Depth: 2, MaxChainLen: 2 * maxInt(*nchains, 1), CA: *backendName == "ca",
 			Machine: mach, Parallel: !*serial, Tracer: tracer, Faults: plan,
 			AutoTune: *autoTune,
+		}
+		if svSpec.Enabled {
+			// Supervised self-healing execution: the supervisor owns the
+			// whole construct/run loop, restoring from the newest valid
+			// checkpoint generation after each caught failure.
+			runner := &supervise.Runner{
+				Spec: svSpec, Plan: plan, Ring: ring, Tracer: tracer,
+				Body: func(st *checkpoint.State, sup *supervise.Supervisor) error {
+					start := 0
+					var err error
+					if st == nil {
+						cb, err = cluster.New(ccfg)
+					} else {
+						cb, err = cluster.RestoreState(st, ccfg)
+					}
+					if err != nil {
+						return err
+					}
+					sup.Adopt(cb)
+					if st != nil {
+						if _, err := fmt.Sscanf(st.Note, "iter=%d", &start); err != nil {
+							return fmt.Errorf("checkpoint note %q is not an iteration marker: %w", st.Note, err)
+						}
+					}
+					b = cb
+					return runIters(b, cb, app, syn, start, *iters, *nchains, *backendName == "ca", ckpt, ring)
+				},
+			}
+			sup, err := runner.Run()
+			if err != nil {
+				fatal(err)
+			}
+			sup.Finish(cb.Stats())
+			if sv := cb.Stats().Supervise; sv.Restarts > 0 {
+				fmt.Printf("supervise: recovered from %d failures (crash %d exchange %d watchdog %d), %d generations quarantined\n",
+					sv.Restarts, sv.CrashRestarts, sv.ExchangeRestarts, sv.WatchdogTrips, sv.Quarantined)
+			}
+			break
 		}
 		if *restorePath != "" {
 			f, err := os.Open(*restorePath)
@@ -138,33 +195,21 @@ func main() {
 		fatal(fmt.Errorf("unknown backend %q", *backendName))
 	}
 
-	crash := catchCrash(func() {
-		if *restorePath == "" {
-			app.Init(b)
-		}
-		for it := startIter; it < *iters; it++ {
-			if *nchains > 0 {
-				syn.Run(b, *nchains, *backendName == "ca")
+	if !svSpec.Enabled {
+		crash := supervise.CatchCrash(func() {
+			if err := runIters(b, cb, app, syn, startIter, *iters, *nchains, *backendName == "ca", ckpt, ring); err != nil {
+				fatal(err)
 			}
-			app.Cycle(b)
-			if ckpt.Enabled() && (it+1)%ckpt.Every == 0 {
-				note := fmt.Sprintf("iter=%d", it+1)
-				if err := checkpoint.AtomicWriteFile(ckpt.Path, func(w io.Writer) error {
-					return cb.Checkpoint(w, note)
-				}); err != nil {
-					fatal(err)
+		})
+		if crash != nil {
+			fmt.Fprintf(os.Stderr, "mgcfd: injected crash of rank %d at exchange %d\n", crash.Rank, crash.Exchange)
+			if ring != nil {
+				if gens, err := ring.Generations(); err == nil && len(gens) > 0 {
+					fmt.Fprintf(os.Stderr, "mgcfd: resume with -restore %s (drop the crash= clause), or rerun with -supervise on\n", gens[0].Path)
 				}
 			}
+			os.Exit(3)
 		}
-	})
-	if crash != nil {
-		fmt.Fprintf(os.Stderr, "mgcfd: injected crash of rank %d at exchange %d\n", crash.Rank, crash.Exchange)
-		if ckpt.Enabled() {
-			if _, err := os.Stat(ckpt.Path); err == nil {
-				fmt.Fprintf(os.Stderr, "mgcfd: resume with -restore %s (drop the crash= clause)\n", ckpt.Path)
-			}
-		}
-		os.Exit(3)
 	}
 	res := app.Residual(b)
 	fmt.Printf("backend %s: %d iterations, density L1 residual %.6e\n", b.Name(), *iters, res)
@@ -294,19 +339,28 @@ func assignment(m *mesh.FV3D, partitioner string, ranks int) (partition.Assignme
 	return nil, fmt.Errorf("unknown partitioner %q", partitioner)
 }
 
-// catchCrash executes fn, converting an injected crash fault (crash=rankN@E)
-// into a reportable value instead of a panic trace.
-func catchCrash(fn func()) (crash *faults.CrashError) {
-	defer func() {
-		if r := recover(); r != nil {
-			c, ok := r.(*faults.CrashError)
-			if !ok {
-				panic(r)
-			}
-			crash = c
+// runIters drives the main loop from iteration start: initialise on a fresh
+// run, interleave synthetic chains with multigrid cycles, and snapshot
+// through the checkpoint ring at the configured cadence.
+func runIters(b core.Backend, cb *cluster.Backend, app *mgcfd.App, syn *mgcfd.Synthetic,
+	start, iters, nchains int, chained bool, ckpt checkpoint.Spec, ring *checkpoint.Ring) error {
+	if start == 0 {
+		app.Init(b)
+	}
+	for it := start; it < iters; it++ {
+		if nchains > 0 {
+			syn.Run(b, nchains, chained)
 		}
-	}()
-	fn()
+		app.Cycle(b)
+		if ring != nil && ckpt.Enabled() && (it+1)%ckpt.Every == 0 {
+			note := fmt.Sprintf("iter=%d", it+1)
+			if _, err := ring.Write(func(w io.Writer) error {
+				return cb.Checkpoint(w, note)
+			}); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

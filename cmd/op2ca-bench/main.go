@@ -27,6 +27,7 @@ import (
 	"op2ca/internal/cluster"
 	"op2ca/internal/faults"
 	"op2ca/internal/obs"
+	"op2ca/internal/supervise"
 )
 
 func main() {
@@ -56,9 +57,11 @@ func main() {
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.05,seed=1 (see internal/faults); results stay bit-identical, virtual times include recovery")
 		ckptSpec = flag.String("checkpoint", "",
-			"periodic snapshots, e.g. every=1,path=ck.bin: each measured run checkpoints its backend after every N measured iterations (atomic overwrite of the same file)")
+			"periodic snapshots, e.g. every=1,path=ck.bin,keep=3: each measured run checkpoints its backend after every N measured iterations, rotating keep=K verified generations")
 		restorePath = flag.String("restore", "",
 			"resume from a checkpoint file a crashed invocation wrote: the matching run restores mid-measurement, all others re-execute deterministically")
+		superviseFlag = flag.String("supervise", "",
+			"self-healing supervised execution, e.g. on or budget=8,backoff=1,watchdog=50: catch injected crashes, exchange failures and no-progress stalls, restore from the newest valid checkpoint generation and retry the experiment (incompatible with -restore)")
 	)
 	flag.Parse()
 
@@ -99,13 +102,26 @@ func main() {
 	}
 	cfg.Faults = plan
 	cfg.AutoTune = *autoTune
+	svSpec, err := supervise.ParseSpec(*superviseFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if svSpec.Enabled && *restorePath != "" {
+		fatal(fmt.Errorf("-supervise and -restore are incompatible: the supervisor recovers from the checkpoint ring itself"))
+	}
+	var ring *checkpoint.Ring
 	if *ckptSpec != "" {
 		spec, err := checkpoint.ParseSpec(*ckptSpec)
 		if err != nil {
 			fatal(err)
 		}
+		r, err := checkpoint.NewRing(spec)
+		if err != nil {
+			fatal(err)
+		}
+		ring = r
 		cfg.CheckpointEvery = spec.Every
-		cfg.CheckpointPath = spec.Path
+		cfg.Ring = ring
 	}
 	if *restorePath != "" {
 		st, err := checkpoint.ReadFile(*restorePath)
@@ -113,6 +129,10 @@ func main() {
 			fatal(err)
 		}
 		cfg.Resume = st
+	}
+	var sup *supervise.Supervisor
+	if svSpec.Enabled {
+		sup = supervise.NewSupervisor(svSpec, plan, ring, cfg.Tracer)
 	}
 
 	// The metrics file accumulates every run under a distinct run label;
@@ -135,10 +155,13 @@ func main() {
 	// The Observe hook composes every per-run consumer: model checks,
 	// metrics export, fault-counter aggregation, profiling and (for -json)
 	// per-run dat checksums, so a faulted run can be diffed against a
-	// fault-free one.
-	var faultTotals cluster.FaultStats
+	// fault-free one. Per-label consumers keep the last observation:
+	// supervised retries re-execute runs deterministically, so counting a
+	// re-executed run twice would inflate the totals.
+	faultByLabel := map[string]cluster.FaultStats{}
 	var checksums map[string]string
 	var tuneRuns []bench.AutoTuneRun
+	tuneIdx := map[string]int{}
 	var profiles []bench.ProfileRecord
 	profiled := map[string]bool{}
 	profileErrs := 0
@@ -184,9 +207,14 @@ func main() {
 				if len(at.Skipped) > 0 {
 					rec.Skipped = at.Skipped
 				}
-				tuneRuns = append(tuneRuns, rec)
+				if i, ok := tuneIdx[label]; ok {
+					tuneRuns[i] = rec
+				} else {
+					tuneIdx[label] = len(tuneRuns)
+					tuneRuns = append(tuneRuns, rec)
+				}
 			}
-			faultTotals.Add(b.Stats().Faults)
+			faultByLabel[label] = b.Stats().Faults
 		}
 	}
 
@@ -227,17 +255,27 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		table, crash := runRecovering(run, cfg)
-		if crash != nil {
-			fmt.Fprintf(os.Stderr, "op2ca-bench: injected crash of rank %d at exchange %d during %q\n",
-				crash.Rank, crash.Exchange, name)
-			if cfg.CheckpointPath != "" {
-				if _, err := os.Stat(cfg.CheckpointPath); err == nil {
-					fmt.Fprintf(os.Stderr, "op2ca-bench: resume with -restore %s (drop the crash= clause)\n",
-						cfg.CheckpointPath)
-				}
+		var table *bench.Table
+		if sup != nil {
+			t, err := runSupervised(sup, run, &cfg, name)
+			if err != nil {
+				fatal(err)
 			}
-			os.Exit(3)
+			table = t
+		} else {
+			t, crash := runRecovering(run, cfg)
+			if crash != nil {
+				fmt.Fprintf(os.Stderr, "op2ca-bench: injected crash of rank %d at exchange %d during %q\n",
+					crash.Rank, crash.Exchange, name)
+				if ring != nil {
+					if gens, err := ring.Generations(); err == nil && len(gens) > 0 {
+						fmt.Fprintf(os.Stderr, "op2ca-bench: resume with -restore %s (drop the crash= clause), or rerun with -supervise on\n",
+							gens[0].Path)
+					}
+				}
+				os.Exit(3)
+			}
+			table = t
 		}
 		elapsed := time.Since(start).Seconds()
 		if *csv {
@@ -259,6 +297,20 @@ func main() {
 		}
 		if len(profiles) > 0 {
 			emit("\n")
+		}
+	}
+	var faultTotals cluster.FaultStats
+	for _, fs := range faultByLabel {
+		faultTotals.Add(fs)
+	}
+	var svStats cluster.SuperviseStats
+	if sup != nil {
+		sup.Finish(nil)
+		svStats = sup.Stats()
+		if svStats.Restarts > 0 {
+			emit(fmt.Sprintf("supervise: recovered from %d failures (crash %d exchange %d watchdog %d), %d generations quarantined, backoff %.3fs virtual\n\n",
+				svStats.Restarts, svStats.CrashRestarts, svStats.ExchangeRestarts,
+				svStats.WatchdogTrips, svStats.Quarantined, svStats.BackoffVirtual))
 		}
 	}
 	if plan != nil {
@@ -298,6 +350,9 @@ func main() {
 		snap.Checksums = checksums
 		snap.AutoTune = tuneRuns
 		snap.Profiles = profiles
+		if sup != nil {
+			snap.Supervise = bench.NewSuperviseRecord(svStats)
+		}
 		if err := snap.WriteFile(*jsonPath); err != nil {
 			fatal(err)
 		}
@@ -338,6 +393,39 @@ func runCompare(args []string, spec string) int {
 		return 1
 	}
 	return 0
+}
+
+// runSupervised executes one experiment under the supervisor's retry loop:
+// each attempt begins with a checkpoint-ring recovery scan (quarantining
+// corrupt generations), carries the per-clause crash-arming mask and the
+// escalating watchdog deadline into every backend the experiment builds, and
+// a supervised failure charges the restart budget and retries. Runs whose
+// label does not match the recovered snapshot re-execute deterministically,
+// so the completed experiment's table is bitwise identical to an
+// uninterrupted run's.
+func runSupervised(sup *supervise.Supervisor, run func(bench.Config) *bench.Table,
+	cfg *bench.Config, name string) (*bench.Table, error) {
+	for {
+		st, err := sup.Recover()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Resume = st
+		cfg.ArmedCrashes = sup.Armed()
+		cfg.Watchdog = sup.Watchdog()
+		var table *bench.Table
+		err = supervise.Catch(func() error {
+			table = run(*cfg)
+			return nil
+		})
+		if err == nil {
+			return table, nil
+		}
+		fmt.Fprintf(os.Stderr, "op2ca-bench: supervised failure during %q: %v\n", name, err)
+		if ferr := sup.OnFailure(err); ferr != nil {
+			return nil, ferr
+		}
+	}
 }
 
 // runRecovering executes one experiment, converting an injected crash fault

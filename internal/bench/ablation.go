@@ -40,6 +40,7 @@ func (c Config) runSyntheticOnce(cfg cluster.Config, h *mesh.Hierarchy, nchains 
 		if err != nil {
 			panic("bench: " + err.Error())
 		}
+		c.adopt(b)
 		app.Init(b)
 		syn.Run(b, nchains, chained) // warm-up
 		rctx.T0 = b.MaxClock()
@@ -213,6 +214,7 @@ func AblationGPUDirect(c Config) *Table {
 			if err != nil {
 				panic("bench: " + err.Error())
 			}
+			c.adopt(b)
 			app.RunSetup(b, true)
 			app.RunIteration(b, true)
 			t0 := b.MaxClock()

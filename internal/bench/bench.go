@@ -60,17 +60,39 @@ type Config struct {
 	// deliberately excluded: they study pinned static knobs (fixed depth,
 	// grouping, partitioner, GPUDirect) that the tuner would override.
 	AutoTune bool
-	// CheckpointEvery and CheckpointPath, when both set, snapshot each
-	// measured run's backend to CheckpointPath after every CheckpointEvery
-	// measured iterations (the -checkpoint flag); the file is overwritten
-	// atomically, so a crash always finds the most recent complete snapshot.
+	// CheckpointEvery and Ring, when both set, snapshot each measured
+	// run's backend through the verified checkpoint ring after every
+	// CheckpointEvery measured iterations (the -checkpoint flag); every
+	// generation is written atomically and read back, so a crash always
+	// finds the most recent complete snapshot.
 	CheckpointEvery int
-	CheckpointPath  string
+	Ring            *checkpoint.Ring
 	// Resume, when non-nil, is a snapshot a previous (crashed) invocation
 	// wrote: the run whose label matches the snapshot's resume point
 	// restores mid-measurement, all other runs re-execute deterministically,
 	// and the invocation's final checksums equal an uninterrupted run's.
 	Resume *checkpoint.State
+	// ArmedCrashes, when non-nil, is the supervisor's per-clause arming
+	// mask for the fault plan's crash schedule, applied to every backend
+	// the experiments construct or restore (see internal/supervise). Nil
+	// leaves fresh backends fully armed and restored backends disarmed.
+	ArmedCrashes []bool
+	// Watchdog, when positive, sets the no-progress deadline (virtual
+	// seconds between exchanges) on every backend the experiments build.
+	Watchdog float64
+}
+
+// adopt applies the supervisor-owned knobs — the crash-arming mask and the
+// watchdog deadline — to a backend an experiment constructed or restored,
+// and returns it for call-site brevity.
+func (c Config) adopt(b *cluster.Backend) *cluster.Backend {
+	if c.ArmedCrashes != nil {
+		b.ArmCrashes(c.ArmedCrashes)
+	}
+	if c.Watchdog > 0 {
+		b.SetWatchdog(c.Watchdog)
+	}
+	return b
 }
 
 // observe invokes the Observe hook if one is configured.

@@ -1,18 +1,17 @@
 package bench
 
 // ckpt.go gives the experiments checkpoint/restart: with CheckpointEvery and
-// CheckpointPath set, every measured run snapshots its backend periodically
-// (overwriting the same file atomically), and with Resume set, the one run
-// whose label matches the snapshot's resume point restores mid-measurement
-// while every other run simply re-executes — the simulation is
-// deterministic, so re-executed runs reproduce their results bitwise and the
-// resumed invocation's checksums equal an uninterrupted run's.
+// Ring set, every measured run snapshots its backend periodically through
+// the verified generation ring, and with Resume set, the one run whose label
+// matches the snapshot's resume point restores mid-measurement while every
+// other run simply re-executes — the simulation is deterministic, so
+// re-executed runs reproduce their results bitwise and the resumed
+// invocation's checksums equal an uninterrupted run's.
 
 import (
 	"encoding/json"
 	"io"
 
-	"op2ca/internal/checkpoint"
 	"op2ca/internal/cluster"
 )
 
@@ -30,7 +29,7 @@ type resumePoint struct {
 // done counts completed measured iterations; ctx is the run's measurement
 // baseline, restored verbatim on resume.
 func (c Config) tick(b *cluster.Backend, label string, done int, ctx any) {
-	if c.CheckpointEvery <= 0 || c.CheckpointPath == "" || done%c.CheckpointEvery != 0 {
+	if c.CheckpointEvery <= 0 || c.Ring == nil || done%c.CheckpointEvery != 0 {
 		return
 	}
 	raw, err := json.Marshal(ctx)
@@ -41,10 +40,9 @@ func (c Config) tick(b *cluster.Backend, label string, done int, ctx any) {
 	if err != nil {
 		panic("bench: " + err.Error())
 	}
-	err = checkpoint.AtomicWriteFile(c.CheckpointPath, func(w io.Writer) error {
+	if _, err := c.Ring.Write(func(w io.Writer) error {
 		return b.Checkpoint(w, string(note))
-	})
-	if err != nil {
+	}); err != nil {
 		panic("bench: checkpoint: " + err.Error())
 	}
 }
@@ -65,6 +63,7 @@ func (c Config) resume(label string, cfg cluster.Config, ctx any) (*cluster.Back
 	if err != nil {
 		panic("bench: restore: " + err.Error())
 	}
+	c.adopt(b)
 	if len(rp.Ctx) > 0 && ctx != nil {
 		if err := json.Unmarshal(rp.Ctx, ctx); err != nil {
 			panic("bench: restore: " + err.Error())

@@ -63,6 +63,7 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 			if err != nil {
 				panic("bench: " + err.Error())
 			}
+			c.adopt(b)
 			// Setup chains (weight, period) execute once; measure them
 			// cumulatively. Per-iteration chains are measured after a warm-up
 			// iteration, so first-execution clean halos do not skew the

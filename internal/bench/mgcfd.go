@@ -97,6 +97,7 @@ func (c Config) runMGPoint(meshNodes, paperNodes, nchains int, mach *machine.Mac
 			if err != nil {
 				panic("bench: " + err.Error())
 			}
+			c.adopt(b)
 			app.Init(b)
 			// Warm-up (dirties halos, amortises nothing else); excluded from
 			// the measurement like the paper's inspection phase.

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"op2ca/internal/autotune"
+	"op2ca/internal/cluster"
 	"op2ca/internal/obs/analysis"
 )
 
@@ -26,7 +27,36 @@ type Snapshot struct {
 	Checksums map[string]string `json:"checksums,omitempty"`
 	AutoTune  []AutoTuneRun     `json:"autotune,omitempty"`
 	Profiles  []ProfileRecord   `json:"profiles,omitempty"`
+	Supervise *SuperviseRecord  `json:"supervise,omitempty"`
 	Results   []Result          `json:"results"`
+}
+
+// SuperviseRecord is the committed summary of a supervised invocation's
+// recovery ledger (op2ca-bench -supervise): how many attempts ran, how many
+// restarts each failure class consumed, and what the checkpoint ring did.
+// All restarts resolved deterministically — the results in the same snapshot
+// are bitwise identical to an uninterrupted run's.
+type SuperviseRecord struct {
+	Attempts         int     `json:"attempts"`
+	Restarts         int     `json:"restarts"`
+	CrashRestarts    int     `json:"crash_restarts"`
+	ExchangeRestarts int     `json:"exchange_restarts"`
+	WatchdogTrips    int     `json:"watchdog_trips"`
+	GenerationsTried int     `json:"generations_tried"`
+	Quarantined      int     `json:"quarantined"`
+	ColdStarts       int     `json:"cold_starts"`
+	BackoffVirtual   float64 `json:"backoff_virtual_seconds"`
+}
+
+// NewSuperviseRecord flattens a supervisor's ledger into its snapshot form.
+func NewSuperviseRecord(s cluster.SuperviseStats) *SuperviseRecord {
+	return &SuperviseRecord{
+		Attempts: s.Attempts, Restarts: s.Restarts,
+		CrashRestarts: s.CrashRestarts, ExchangeRestarts: s.ExchangeRestarts,
+		WatchdogTrips: s.WatchdogTrips, GenerationsTried: s.GenerationsTried,
+		Quarantined: s.Quarantined, ColdStarts: s.ColdStarts,
+		BackoffVirtual: s.BackoffVirtual,
+	}
 }
 
 // Result is one experiment's table plus its wall time. Wall time is the

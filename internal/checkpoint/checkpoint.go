@@ -194,28 +194,64 @@ func (e *errReader) len() int {
 	return int(n)
 }
 
-func (e *errReader) bytes() []byte {
-	n := e.len()
+// allocChunk bounds how much readN allocates ahead of the stream proving
+// it actually holds the data: a corrupt length prefix below maxSectionLen
+// could still claim hundreds of gigabytes, and an upfront make of that size
+// would kill the process before the checksum check ever rejects the file.
+const allocChunk = 1 << 20
+
+// readN reads exactly n bytes, growing the buffer one bounded chunk at a
+// time so a lying length prefix fails with an I/O error at the stream's
+// real end instead of a giant allocation.
+func (e *errReader) readN(n int) []byte {
 	if e.err != nil {
 		return nil
 	}
-	p := make([]byte, n)
-	e.read(p)
-	return p
+	if n <= allocChunk {
+		p := make([]byte, n)
+		e.read(p)
+		return p
+	}
+	out := make([]byte, 0, allocChunk)
+	for rem := n; rem > 0 && e.err == nil; {
+		c := rem
+		if c > allocChunk {
+			c = allocChunk
+		}
+		start := len(out)
+		out = append(out, make([]byte, c)...)
+		e.read(out[start:])
+		rem -= c
+	}
+	return out
+}
+
+func (e *errReader) bytes() []byte {
+	return e.readN(e.len())
 }
 
 func (e *errReader) floats() []float64 {
 	n := e.len()
+	buf := e.readN(8 * n)
 	if e.err != nil {
 		return nil
 	}
-	buf := make([]byte, 8*n)
-	e.read(buf)
 	f := make([]float64, n)
 	for i := range f {
 		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
 	return f
+}
+
+// capFor clamps a decoded element count to a sane initial capacity.
+func capFor(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > 1024 {
+		return 1024
+	}
+	return n
 }
 
 // Decode reads one snapshot, verifying magic, version and checksum.
@@ -234,28 +270,23 @@ func Decode(r io.Reader) (*State, error) {
 	s.Note = string(er.bytes())
 	s.FaultSeq = er.u64()
 	s.Clocks = er.floats()
+	// Collection sizes grow by append as elements actually decode (capped
+	// initial capacity), not by one upfront make of the claimed count: a
+	// corrupt count below maxSectionLen must fail at the stream's real end,
+	// not allocate terabytes first.
 	nValid := er.len()
-	if er.err == nil {
-		s.ValidExec = make([]int64, nValid)
-		s.ValidNonexec = make([]int64, nValid)
-		for i := 0; i < nValid; i++ {
-			s.ValidExec[i] = int64(er.u64())
-			s.ValidNonexec[i] = int64(er.u64())
-		}
+	for i := 0; i < nValid && er.err == nil; i++ {
+		s.ValidExec = append(s.ValidExec, int64(er.u64()))
+		s.ValidNonexec = append(s.ValidNonexec, int64(er.u64()))
 	}
 	nRanks := er.len()
-	if er.err == nil {
-		s.Dats = make([][][]float64, nRanks)
-		for r := range s.Dats {
-			nDats := er.len()
-			if er.err != nil {
-				break
-			}
-			s.Dats[r] = make([][]float64, nDats)
-			for d := range s.Dats[r] {
-				s.Dats[r][d] = er.floats()
-			}
+	for r := 0; r < nRanks && er.err == nil; r++ {
+		nDats := er.len()
+		rank := make([][]float64, 0, capFor(nDats))
+		for d := 0; d < nDats && er.err == nil; d++ {
+			rank = append(rank, er.floats())
 		}
+		s.Dats = append(s.Dats, rank)
 	}
 	s.Meta = er.bytes()
 	if er.err != nil {

@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGen(t *testing.T, r *Ring, note string) string {
+	t.Helper()
+	s := sampleState()
+	s.Note = note
+	path, err := r.Write(func(w io.Writer) error {
+		_, err := Encode(w, s)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("ring write %q: %v", note, err)
+	}
+	return path
+}
+
+func TestRingRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Every: 1, Path: filepath.Join(dir, "ck.bin"), Keep: 3}
+	r, err := NewRing(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		writeGen(t, r, fmt.Sprintf("gen=%d", i))
+	}
+	gens, err := r.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("keep=3 after 5 writes: %d generations (%+v)", len(gens), gens)
+	}
+	for i, want := range []int{4, 3, 2} {
+		if gens[i].Seq != want {
+			t.Errorf("generation %d has seq %d, want %d (newest first)", i, gens[i].Seq, want)
+		}
+	}
+	st, gen, tried, quarantined, err := r.RecoverNewest()
+	if err != nil || st == nil {
+		t.Fatalf("RecoverNewest: %v, state %v", err, st)
+	}
+	if st.Note != "gen=4" || gen.Seq != 4 || tried != 1 || quarantined != 0 {
+		t.Errorf("RecoverNewest = note %q seq %d tried %d quarantined %d, want gen=4/4/1/0",
+			st.Note, gen.Seq, tried, quarantined)
+	}
+}
+
+func TestRingRecoveryQuarantinesCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRing(Spec{Every: 1, Path: filepath.Join(dir, "ck.bin"), Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGen(t, r, "gen=0")
+	newest := writeGen(t, r, "gen=1")
+	// Chop the checksum off the newest generation: valid header, bad tail.
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, info.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+	st, gen, tried, quarantined, err := r.RecoverNewest()
+	if err != nil || st == nil {
+		t.Fatalf("RecoverNewest: %v, state %v", err, st)
+	}
+	if st.Note != "gen=0" || tried != 2 || quarantined != 1 {
+		t.Errorf("RecoverNewest = note %q seq %d tried %d quarantined %d, want fallback to gen=0 with one quarantine",
+			st.Note, gen.Seq, tried, quarantined)
+	}
+	if _, err := os.Stat(newest + quarantineSuffix); err != nil {
+		t.Errorf("corrupt generation not quarantined: %v", err)
+	}
+	// The quarantined file is invisible to further recovery scans.
+	gens, err := r.Generations()
+	if err != nil || len(gens) != 1 {
+		t.Fatalf("generations after quarantine = %+v, %v", gens, err)
+	}
+}
+
+func TestRingWriteVerificationRejectsBadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRing(Spec{Every: 1, Path: filepath.Join(dir, "ck.bin"), Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGen(t, r, "good")
+	_, err = r.Write(func(w io.Writer) error {
+		_, err := w.Write([]byte("not a checkpoint"))
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("garbage write accepted: %v", err)
+	}
+	if r.VerifyFailures != 1 {
+		t.Errorf("VerifyFailures = %d, want 1", r.VerifyFailures)
+	}
+	// The good generation is still the recovery point.
+	st, _, _, _, err := r.RecoverNewest()
+	if err != nil || st == nil || st.Note != "good" {
+		t.Fatalf("recovery after failed write: %v, %v", st, err)
+	}
+}
+
+func TestRingSingleFileLayout(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.bin")
+	r, err := NewRing(Spec{Every: 1, Path: path, Keep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gens, _ := r.Generations(); len(gens) != 0 {
+		t.Fatalf("empty ring lists %d generations", len(gens))
+	}
+	writeGen(t, r, "a")
+	got := writeGen(t, r, "b")
+	if got != path {
+		t.Errorf("keep=1 wrote %s, want overwrite of %s", got, path)
+	}
+	st, gen, _, _, err := r.RecoverNewest()
+	if err != nil || st == nil || st.Note != "b" || gen.Path != path {
+		t.Fatalf("single-file recovery: %+v %+v %v", st, gen, err)
+	}
+}
+
+func TestRingResumesNumbering(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Every: 1, Path: filepath.Join(dir, "ck.bin"), Keep: 4}
+	r, err := NewRing(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGen(t, r, "x")
+	writeGen(t, r, "y")
+	// A second ring over the same path (supervised restart) continues the
+	// numbering instead of overwriting the generations it would recover.
+	r2, err := NewRing(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := writeGen(t, r2, "z")
+	if !strings.HasSuffix(p, ".g000002") {
+		t.Errorf("resumed ring wrote %s, want seq 2", p)
+	}
+}
+
+func TestParseSpecKeep(t *testing.T) {
+	spec, err := ParseSpec("every=2,path=ck.bin,keep=5")
+	if err != nil || spec.Keep != 5 {
+		t.Fatalf("ParseSpec keep = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"every=1,path=x,keep=0", "every=1,path=x,keep=-2", "every=1,path=x,keep=z"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

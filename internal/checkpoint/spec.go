@@ -4,23 +4,31 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
 
 // Spec is the parsed form of the -checkpoint command-line flag:
-// "every=N,path=P" requests a snapshot to P after every N measured
-// iterations. The same file is overwritten each time (atomically), so a
-// crash always finds the most recent complete snapshot.
+// "every=N,path=P,keep=K" requests a snapshot after every N measured
+// iterations. With keep=1 (the default) the same file P is overwritten each
+// time (atomically), so a crash always finds the most recent complete
+// snapshot; with keep=K > 1 snapshots rotate through a generation ring of K
+// numbered files (see Ring), so recovery can fall back past a corrupt
+// newest generation.
 type Spec struct {
 	Every int
 	Path  string
+	// Keep is the number of snapshot generations retained. 0 and 1 both
+	// mean the legacy single-file behaviour.
+	Keep int
 }
 
 // Enabled reports whether the spec requests periodic snapshots.
 func (s Spec) Enabled() bool { return s.Every > 0 && s.Path != "" }
 
-// ParseSpec parses "every=N,path=P" (both keys required, any order).
+// ParseSpec parses "every=N,path=P[,keep=K]" (every and path required, any
+// order; keep defaults to 1).
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	for _, field := range strings.Split(s, ",") {
@@ -40,8 +48,14 @@ func ParseSpec(s string) (Spec, error) {
 				return Spec{}, fmt.Errorf("checkpoint spec: path must not be empty")
 			}
 			spec.Path = val
+		case "keep":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Spec{}, fmt.Errorf("checkpoint spec: keep=%q must be a positive integer", val)
+			}
+			spec.Keep = n
 		default:
-			return Spec{}, fmt.Errorf("checkpoint spec: unknown key %q (want every, path)", key)
+			return Spec{}, fmt.Errorf("checkpoint spec: unknown key %q (want every, path, keep)", key)
 		}
 	}
 	if !spec.Enabled() {
@@ -51,8 +65,10 @@ func ParseSpec(s string) (Spec, error) {
 }
 
 // AtomicWriteFile writes a snapshot produced by write to path via a
-// temporary file and rename, so a crash mid-write never leaves a truncated
-// checkpoint where a complete one stood.
+// temporary file and rename. The temp file is fsynced before the rename and
+// the parent directory after it, so neither a process crash mid-write nor a
+// host crash shortly after the rename can leave a truncated or
+// empty-but-renamed file where a complete snapshot stood.
 func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -64,11 +80,33 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives a host crash.
+// Filesystems that cannot sync directories (some CI tmpfs setups) are not
+// an error: the rename itself is still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
 }
 
 // ReadFile decodes the snapshot stored at path.

@@ -155,11 +155,21 @@ type Backend struct {
 	retryTimeout float64
 	retryBackoff float64
 	faultSeq     uint64
-	// crashArmed gates the fault plan's crash clause: true on a freshly
-	// constructed backend whose plan carries one, false after Restore — a
-	// restored run resumes from before the crash point and must not die
-	// there again (the real-world analogue: the failed node was replaced).
-	crashArmed bool
+	// crashArmed gates the fault plan's crash clauses, one flag per clause
+	// in schedule order: all true on a freshly constructed backend, all
+	// false after Restore — a restored run resumes from before the crash
+	// point and must not die there again (the real-world analogue: the
+	// failed node was replaced). A supervisor re-arms the clauses that have
+	// not fired yet via ArmCrashes, so later clauses still fire on the
+	// resumed run.
+	crashArmed []bool
+	// watchdog is the no-progress deadline in virtual seconds (0 = off):
+	// if the run's maximum virtual clock advances more than this past
+	// lastProgress without an exchange completing, deliver panics with a
+	// typed *HangError for the supervisor to catch. lastProgress is the
+	// max clock at the end of the last completed exchange.
+	watchdog     float64
+	lastProgress float64
 	// warmPlans records plan-cache keys restored from a checkpoint whose
 	// entries must be rebuilt on first use but accounted as cache hits,
 	// so PlanCacheStats continue exactly as in the uninterrupted run.
@@ -349,7 +359,7 @@ func New(cfg Config) (*Backend, error) {
 		tunes:      map[tuneKey]*chainTune{},
 		warmPlans:  map[planKey]bool{},
 		heCache:    map[*chaincfg.Chain]heOverrides{},
-		crashArmed: cfg.Faults.CrashAt() != nil,
+		crashArmed: armAll(len(cfg.Faults.CrashSchedule())),
 	}
 	b.initScratch()
 	workers := 1
@@ -429,6 +439,49 @@ func (b *Backend) Clocks() []float64 {
 func (b *Backend) MaxClock() float64 {
 	b.FlushLazy()
 	return b.maxClock()
+}
+
+// armAll builds the initial all-armed crash mask for n schedule clauses.
+func armAll(n int) []bool {
+	if n == 0 {
+		return nil
+	}
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// ArmCrashes sets the per-clause crash mask (indexed like the fault plan's
+// CrashSchedule). A supervisor uses it after restoring from a snapshot to
+// re-arm the clauses that have not fired yet — Restore itself disarms all of
+// them, which is correct for manual -restore but would let a multi-crash
+// schedule fire only its first clause under supervision. Entries beyond the
+// schedule length are ignored; a nil mask disarms everything.
+func (b *Backend) ArmCrashes(mask []bool) {
+	n := len(b.cfg.Faults.CrashSchedule())
+	b.crashArmed = make([]bool, n)
+	for i := 0; i < n && i < len(mask); i++ {
+		b.crashArmed[i] = mask[i]
+	}
+}
+
+// ArmedCrashes returns a copy of the per-clause crash mask.
+func (b *Backend) ArmedCrashes() []bool {
+	out := make([]bool, len(b.crashArmed))
+	copy(out, b.crashArmed)
+	return out
+}
+
+// SetWatchdog sets the no-progress deadline in virtual seconds (0 disables
+// it): if the maximum virtual clock advances more than deadline past the end
+// of the last completed exchange, the next exchange panics with a typed
+// *HangError. The progress marker resets to the current clock, so arming the
+// watchdog on a restored backend does not trip it retroactively.
+func (b *Backend) SetWatchdog(deadline float64) {
+	b.watchdog = deadline
+	b.lastProgress = b.maxClock()
 }
 
 // maxClock is MaxClock without the lazy flush, for internal accounting.

@@ -147,16 +147,17 @@ func (b *Backend) configFingerprint() ([]byte, error) {
 	return checkpoint.MarshalFingerprint(fp)
 }
 
-// normalizedFaultSpec renders the fault plan with the crash clause stripped;
-// a plan left injecting no message faults renders as "", so a crash-only
-// plan fingerprints equal to no plan at all (the resume configuration).
+// normalizedFaultSpec renders the fault plan with the crash clauses
+// stripped; a plan left injecting no message faults renders as "", so a
+// crash-only plan fingerprints equal to no plan at all (the resume
+// configuration).
 func normalizedFaultSpec(cfg Config) string {
 	p := cfg.Faults
 	if p == nil {
 		return ""
 	}
 	stripped := *p
-	stripped.Crash = nil
+	stripped.Crashes = nil
 	if !stripped.Enabled() {
 		return ""
 	}
@@ -394,7 +395,9 @@ func RestoreState(st *checkpoint.State, cfg Config) (*Backend, error) {
 	}
 	// A restored backend never re-fires the crash that produced it: the
 	// resumed run replays the pre-crash exchange sequence without dying.
-	b.crashArmed = false
+	// Disarm every clause; a supervisor re-arms the unfired ones via
+	// ArmCrashes so the rest of a multi-crash schedule still fires.
+	b.crashArmed = nil
 	b.stats.Ckpt.Restores++
 	if b.tracer.Enabled() {
 		t := b.maxClock()

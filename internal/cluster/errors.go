@@ -38,6 +38,25 @@ func (k ExchangeErrorKind) String() string {
 	return "unknown"
 }
 
+// HangError reports a no-progress watchdog trip: the run's maximum virtual
+// clock advanced past the configured deadline without an exchange
+// completing (see Backend.SetWatchdog). The exchange layer panics with a
+// typed *HangError so a supervisor can catch it, restore from the newest
+// valid snapshot and retry with a relaxed deadline.
+type HangError struct {
+	// Exchange is the fault-sequence number of the exchange that detected
+	// the stall.
+	Exchange uint64
+	// Last is the virtual time of the last completed exchange, Clock the
+	// maximum virtual clock at detection, Deadline the configured limit.
+	Last, Clock, Deadline float64
+}
+
+func (e *HangError) Error() string {
+	return fmt.Sprintf("cluster: watchdog: no exchange completed for %.3gs of virtual time (last progress %.6g, clock %.6g, deadline %.3g) at exchange %d",
+		e.Clock-e.Last, e.Last, e.Clock, e.Deadline, e.Exchange)
+}
+
 // ExchangeError describes one halo-exchange integrity violation: which
 // receiving rank detected it, which sender the message came from, which dat
 // it addressed (empty for grouped messages spanning all dats), and the

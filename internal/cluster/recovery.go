@@ -50,12 +50,31 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 	seq := b.faultSeq
 	b.faultSeq++
 	plan := b.cfg.Faults
-	// The crash fault fires before any message arithmetic: the process dies
-	// at a deterministic exchange sequence number, recoverable only by
-	// restarting from a checkpoint. Restored backends are disarmed — the
-	// resumed run replays the pre-crash exchanges without dying again.
-	if c := plan.CrashAt(); c != nil && b.crashArmed && seq == c.Exchange {
-		panic(&faults.CrashError{Rank: c.Rank, Exchange: c.Exchange})
+	// Crash faults fire before any message arithmetic: the process dies at
+	// a deterministic exchange sequence number, recoverable only by
+	// restarting from a checkpoint. Each clause is gated by its own armed
+	// flag: Restore disarms all of them (a manually resumed run replays the
+	// pre-crash exchanges without dying again), while a supervisor re-arms
+	// the clauses that have not fired yet so the rest of a multi-crash
+	// schedule still fires on the resumed run.
+	for i, c := range plan.CrashSchedule() {
+		if seq == c.Exchange && i < len(b.crashArmed) && b.crashArmed[i] {
+			b.crashArmed[i] = false
+			panic(&faults.CrashError{Rank: c.Rank, Exchange: c.Exchange})
+		}
+	}
+	// The no-progress watchdog trips when the clock has advanced past the
+	// deadline since the last completed exchange — the virtual-time
+	// signature of a stall (e.g. a giveup storm inflating retry backoff).
+	if b.watchdog > 0 {
+		now := b.maxClock()
+		if now-b.lastProgress > b.watchdog {
+			if b.tracer.Enabled() {
+				b.tracer.Emit(0, obs.TrackExec, obs.Watchdog, owner, b.lastProgress, now, 0)
+			}
+			panic(&HangError{Exchange: seq, Last: b.lastProgress, Clock: now, Deadline: b.watchdog})
+		}
+		b.lastProgress = now
 	}
 	if !plan.Enabled() {
 		b.scr.arrivals = b.net.DeliverInto(b.scr.arrivals[:0], b.scr.busy, post, msgs)

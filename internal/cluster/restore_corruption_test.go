@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"op2ca/internal/mesh"
+	"op2ca/internal/partition"
+)
+
+// TestRestoreCorruptionSweep: Restore must reject any damaged snapshot with
+// a typed error and never panic — the property the supervisor's quarantine
+// path rests on. The sweep covers truncation at every interesting boundary,
+// a bit-flip at every single byte offset (every content byte is covered by
+// the trailing checksum, and flipping the checksum itself breaks the match),
+// and the valid-header/bad-tail shape a torn write leaves behind.
+func TestRestoreCorruptionSweep(t *testing.T) {
+	const nloops = 2
+	m := mesh.Rotor(6, 5, 4)
+	assign := partition.Block(m.NNodes, 2)
+	w := newCkptWorkload(m, 5, nloops)
+	cfg := Config{Prog: w.app.p, Primary: w.app.nodes, Assign: assign, NParts: 2,
+		Depth: nloops + 1, MaxChainLen: nloops, CA: true}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run(b, 0, 2, false)
+	var snap bytes.Buffer
+	if err := b.Checkpoint(&snap, "sweep"); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+
+	// restore attempts a full cluster.Restore of data into a fresh
+	// process-equivalent configuration, converting any panic into a
+	// distinguishable error so the sweep reports it as a failure rather
+	// than dying.
+	restore := func(data []byte) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("PANIC: %v", r)
+			}
+		}()
+		fresh := newCkptWorkload(m, 5, nloops)
+		cfg2 := cfg
+		cfg2.Prog = fresh.app.p
+		cfg2.Primary = fresh.app.nodes
+		_, _, err = Restore(bytes.NewReader(data), cfg2)
+		return err
+	}
+
+	if err := restore(good); err != nil {
+		t.Fatalf("pristine snapshot refused: %v", err)
+	}
+
+	check := func(label string, data []byte) {
+		t.Helper()
+		err := restore(data)
+		if err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", label)
+			return
+		}
+		if strings.HasPrefix(err.Error(), "PANIC:") {
+			t.Errorf("%s: restore panicked: %v", label, err)
+		}
+	}
+
+	// Truncations: empty, mid-magic, mid-version, mid-section-length,
+	// mid-payload, and the torn-tail shapes (checksum partially or wholly
+	// missing past a valid header).
+	n := len(good)
+	for _, cut := range []int{0, 1, 7, 8, 11, 12, 20, n / 2, n - 9, n - 8, n - 1} {
+		if cut < 0 || cut >= n {
+			continue
+		}
+		check(fmt.Sprintf("truncate@%d", cut), good[:cut])
+	}
+
+	// Bit-flip sweep over every byte: header, every section, dat payloads
+	// and the trailing checksum itself.
+	mut := make([]byte, n)
+	for i := 0; i < n; i++ {
+		copy(mut, good)
+		mut[i] ^= 0x40
+		check(fmt.Sprintf("bitflip@%d", i), mut)
+	}
+}

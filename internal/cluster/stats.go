@@ -126,6 +126,52 @@ type CkptStats struct {
 	Restores int64
 }
 
+// SuperviseStats summarises a supervised run's recovery activity: restart
+// counts by failure class, checkpoint-ring recovery work and the virtual
+// time charged to restart backoff. Like CkptStats these counters live off
+// the virtual-time critical path — a supervised run's simulated clocks and
+// results are bitwise identical to the uninterrupted run's.
+type SuperviseStats struct {
+	// Enabled reports whether the run executed under a supervisor.
+	Enabled bool
+	// Attempts counts run attempts (1 on an undisturbed run); Restarts
+	// counts supervised recoveries, split by failure class below.
+	Attempts int
+	Restarts int
+	// CrashRestarts, ExchangeRestarts and WatchdogTrips split Restarts by
+	// the failure that triggered them: injected crash faults, exchange
+	// integrity violations after retry give-up, and no-progress watchdog
+	// trips.
+	CrashRestarts    int
+	ExchangeRestarts int
+	WatchdogTrips    int
+	// GenerationsTried and Quarantined count checkpoint-ring recovery work:
+	// snapshot generations examined and generations quarantined as corrupt.
+	GenerationsTried int
+	Quarantined      int
+	// ColdStarts counts attempts begun without a usable snapshot (the
+	// first attempt of a fresh run included).
+	ColdStarts int
+	// BackoffVirtual is the total virtual time charged to restart backoff.
+	// It is a separate ledger, never added to rank clocks — restart policy
+	// must not perturb the simulated timeline.
+	BackoffVirtual float64
+}
+
+// Add accumulates o's counters into s, for aggregation across attempts.
+func (s *SuperviseStats) Add(o SuperviseStats) {
+	s.Enabled = s.Enabled || o.Enabled
+	s.Attempts += o.Attempts
+	s.Restarts += o.Restarts
+	s.CrashRestarts += o.CrashRestarts
+	s.ExchangeRestarts += o.ExchangeRestarts
+	s.WatchdogTrips += o.WatchdogTrips
+	s.GenerationsTried += o.GenerationsTried
+	s.Quarantined += o.Quarantined
+	s.ColdStarts += o.ColdStarts
+	s.BackoffVirtual += o.BackoffVirtual
+}
+
 // AutoTuneStats records the model-driven autotuner's activity: the most
 // recent calibration, the latest decision per chain, and the chains the
 // invariance guard excluded from tuning (with why).
@@ -190,11 +236,14 @@ func (a *AutoTuneStats) Report() string {
 
 // Stats collects instrumentation for one Backend.
 type Stats struct {
-	Loops    map[string]*LoopStats
-	Chains   map[string]*ChainStats
-	Faults   FaultStats
-	Ckpt     CkptStats
-	AutoTune AutoTuneStats
+	Loops  map[string]*LoopStats
+	Chains map[string]*ChainStats
+	Faults FaultStats
+	Ckpt   CkptStats
+	// Supervise is filled by the supervisor (package supervise) after the
+	// run completes; the backend itself never writes it.
+	Supervise SuperviseStats
+	AutoTune  AutoTuneStats
 	// Profile is the critical-path/communication/imbalance analysis of the
 	// run's trace epoch; nil until Backend.Profile is called (requires a
 	// Tracer). Not serialised into checkpoints — a restored run re-profiles
@@ -274,6 +323,11 @@ func (s *Stats) String() string {
 	if c := s.Ckpt; c != (CkptStats{}) {
 		fmt.Fprintf(&b, "checkpoint writes %d bytes %d restores %d\n",
 			c.Checkpoints, c.CheckpointBytes, c.Restores)
+	}
+	if sv := s.Supervise; sv.Enabled {
+		fmt.Fprintf(&b, "supervise attempts %d restarts %d (crash %d exchange %d watchdog %d) generations tried %d quarantined %d cold starts %d backoff %.3fs\n",
+			sv.Attempts, sv.Restarts, sv.CrashRestarts, sv.ExchangeRestarts, sv.WatchdogTrips,
+			sv.GenerationsTried, sv.Quarantined, sv.ColdStarts, sv.BackoffVirtual)
 	}
 	b.WriteString(s.AutoTune.Report())
 	b.WriteString(s.Profile.Report())
@@ -358,6 +412,27 @@ func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
 	mw.Sample("op2ca_checkpoint_total", extra, float64(s.Ckpt.Checkpoints))
 	mw.Sample("op2ca_checkpoint_bytes_total", extra, float64(s.Ckpt.CheckpointBytes))
 	mw.Sample("op2ca_checkpoint_restores_total", extra, float64(s.Ckpt.Restores))
+
+	if sv := s.Supervise; sv.Enabled {
+		mw.Declare("op2ca_supervise_attempts_total", "counter", "Supervised run attempts (1 on an undisturbed run).")
+		mw.Declare("op2ca_supervise_restarts_total", "counter", "Supervised in-process restarts, by failure class.")
+		mw.Declare("op2ca_supervise_generations_tried_total", "counter", "Checkpoint-ring generations examined during recovery.")
+		mw.Declare("op2ca_supervise_quarantined_total", "counter", "Checkpoint generations quarantined as corrupt.")
+		mw.Declare("op2ca_supervise_cold_starts_total", "counter", "Attempts begun without a usable snapshot.")
+		mw.Declare("op2ca_supervise_backoff_virtual_seconds_total", "counter", "Virtual time charged to restart backoff (separate ledger, never on rank clocks).")
+		mw.Sample("op2ca_supervise_attempts_total", extra, float64(sv.Attempts))
+		for _, c := range []struct {
+			cause string
+			v     int
+		}{{"crash", sv.CrashRestarts}, {"exchange", sv.ExchangeRestarts}, {"watchdog", sv.WatchdogTrips}} {
+			mw.Sample("op2ca_supervise_restarts_total",
+				append([]obs.Label{{Key: "cause", Value: c.cause}}, extra...), float64(c.v))
+		}
+		mw.Sample("op2ca_supervise_generations_tried_total", extra, float64(sv.GenerationsTried))
+		mw.Sample("op2ca_supervise_quarantined_total", extra, float64(sv.Quarantined))
+		mw.Sample("op2ca_supervise_cold_starts_total", extra, float64(sv.ColdStarts))
+		mw.Sample("op2ca_supervise_backoff_virtual_seconds_total", extra, sv.BackoffVirtual)
+	}
 
 	if a := &s.AutoTune; a.Enabled {
 		mw.Declare("op2ca_autotune_decisions_total", "counter", "Chains the autotuner decided a policy for.")

@@ -13,7 +13,9 @@
 //	corrupt=0.002          — attempt arrives truncated/garbled with probability 0.002
 //	delay=5x@0.01          — attempt takes 5x its transmission time with probability 0.01
 //	straggler=rank3:10x    — every attempt sent by rank 3 is 10x slower (repeatable)
-//	crash=rank0@120        — rank 0 dies at exchange sequence 120 (process death)
+//	crash=rank0@120        — rank 0 dies at exchange sequence 120 (process death;
+//	                         repeatable: crash=rank0@120,crash=rank2@400 schedules
+//	                         an ordered multi-crash run, each clause firing once)
 //	seed=42                — decision seed (default 1)
 //	maxretries=6           — per-message retransmission budget hint for the runtime
 //
@@ -78,11 +80,15 @@ type Plan struct {
 	// MaxRetries, when positive, is the plan's suggested per-message
 	// retransmission budget; the runtime may override it.
 	MaxRetries int
-	// Crash, when non-nil, kills the run when the named rank reaches the
-	// given exchange sequence number (see CrashError). Unlike the message
-	// faults above it is not recoverable by retransmission; recovery is
-	// restart from a checkpoint.
-	Crash *Crash
+	// Crashes is the ordered multi-crash schedule: each clause kills the
+	// run when the named rank reaches the given exchange sequence number
+	// (see CrashError), at most once per run attempt. Unlike the message
+	// faults above a crash is not recoverable by retransmission; recovery
+	// is restart from a checkpoint (operator -restore, or the supervisor's
+	// in-process restart, which re-arms the clauses that have not fired
+	// yet). Exchange numbers are unique across clauses — two clauses at
+	// the same exchange could never both fire and are rejected by Parse.
+	Crashes []Crash
 }
 
 // Crash is a deterministic process-death fault: rank Rank dies when the
@@ -92,12 +98,13 @@ type Crash struct {
 	Exchange uint64
 }
 
-// CrashAt returns the plan's crash fault, or nil. Safe on a nil plan.
-func (p *Plan) CrashAt() *Crash {
+// CrashSchedule returns the plan's ordered crash clauses. Safe on a nil
+// plan.
+func (p *Plan) CrashSchedule() []Crash {
 	if p == nil {
 		return nil
 	}
-	return p.Crash
+	return p.Crashes
 }
 
 // CrashError is the typed panic value raised by a runtime honouring a crash
@@ -191,7 +198,12 @@ func Parse(spec string) (*Plan, error) {
 			if err != nil {
 				return nil, fmt.Errorf("faults: crash exchange %q: %v", exchStr, err)
 			}
-			p.Crash = &Crash{Rank: int32(rank), Exchange: exch}
+			for _, c := range p.Crashes {
+				if c.Exchange == exch {
+					return nil, fmt.Errorf("faults: two crash clauses at exchange %d (only the first could ever fire)", exch)
+				}
+			}
+			p.Crashes = append(p.Crashes, Crash{Rank: int32(rank), Exchange: exch})
 		case "seed":
 			s, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
@@ -264,8 +276,8 @@ func (p *Plan) String() string {
 	for _, r := range ranks {
 		parts = append(parts, fmt.Sprintf("straggler=rank%d:%gx", r, p.Stragglers[r]))
 	}
-	if p.Crash != nil {
-		parts = append(parts, fmt.Sprintf("crash=rank%d@%d", p.Crash.Rank, p.Crash.Exchange))
+	for _, c := range p.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=rank%d@%d", c.Rank, c.Exchange))
 	}
 	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
 	if p.MaxRetries > 0 {

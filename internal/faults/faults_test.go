@@ -179,9 +179,9 @@ func TestCrashParseAndString(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := p.CrashAt()
-	if c == nil || c.Rank != 2 || c.Exchange != 77 {
-		t.Fatalf("CrashAt = %+v, want rank 2 exchange 77", c)
+	cs := p.CrashSchedule()
+	if len(cs) != 1 || cs[0].Rank != 2 || cs[0].Exchange != 77 {
+		t.Fatalf("CrashSchedule = %+v, want one clause rank 2 exchange 77", cs)
 	}
 	if p.Enabled() {
 		t.Error("a crash-only plan injects no message faults; Enabled must stay false")
@@ -194,9 +194,33 @@ func TestCrashParseAndString(t *testing.T) {
 	if err != nil {
 		t.Fatalf("String round trip: %v", err)
 	}
-	bc := back.CrashAt()
-	if bc == nil || *bc != *c || back.Seed != p.Seed {
-		t.Errorf("round trip %q -> %+v seed %d, want %+v seed %d", s, bc, back.Seed, c, p.Seed)
+	bc := back.CrashSchedule()
+	if len(bc) != 1 || bc[0] != cs[0] || back.Seed != p.Seed {
+		t.Errorf("round trip %q -> %+v seed %d, want %+v seed %d", s, bc, back.Seed, cs, p.Seed)
+	}
+}
+
+func TestMultiCrashSchedule(t *testing.T) {
+	p, err := Parse("crash=rank0@120,crash=rank2@400,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Crash{{Rank: 0, Exchange: 120}, {Rank: 2, Exchange: 400}}
+	got := p.CrashSchedule()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("CrashSchedule = %+v, want %+v", got, want)
+	}
+	s := p.String()
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("String round trip of %q: %v", s, err)
+	}
+	bc := back.CrashSchedule()
+	if len(bc) != 2 || bc[0] != want[0] || bc[1] != want[1] {
+		t.Errorf("round trip %q -> %+v, want %+v", s, bc, want)
+	}
+	if _, err := Parse("crash=rank0@120,crash=rank1@120"); err == nil {
+		t.Error("duplicate crash exchanges accepted; only the first could ever fire")
 	}
 }
 
@@ -208,10 +232,10 @@ func TestCrashParseErrors(t *testing.T) {
 	}
 }
 
-func TestCrashAtNilPlan(t *testing.T) {
+func TestCrashScheduleNilPlan(t *testing.T) {
 	var p *Plan
-	if p.CrashAt() != nil {
-		t.Error("nil plan must report no crash")
+	if p.CrashSchedule() != nil {
+		t.Error("nil plan must report no crash schedule")
 	}
 }
 

@@ -68,6 +68,14 @@ const (
 	Checkpoint
 	// Restore marks a backend resuming from a snapshot.
 	Restore
+	// Restart marks a supervised in-process restart: the span name carries
+	// the failure that triggered it and the recovery source (the snapshot
+	// generation restored, or "cold"). Zero-length at the restored clock.
+	Restart
+	// Watchdog marks a no-progress watchdog trip: the run's maximum virtual
+	// clock advanced past the deadline without an exchange completing. The
+	// span covers [last progress, trip time] on the supervising track.
+	Watchdog
 	// Idle is never emitted by the runtime: the critical-path analyzer
 	// (package analysis) synthesises Idle segments for stretches of the
 	// longest path not covered by any span or edge — a rank waiting on
@@ -80,7 +88,7 @@ const (
 
 var kindNames = [numKinds]string{
 	"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage",
-	"retry", "giveup", "tune", "checkpoint", "restore", "idle",
+	"retry", "giveup", "tune", "checkpoint", "restore", "restart", "watchdog", "idle",
 }
 
 func (k Kind) String() string {

@@ -41,7 +41,7 @@ func TestNilTracerIsDisabledNoOp(t *testing.T) {
 }
 
 func TestKindNames(t *testing.T) {
-	want := []string{"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage", "retry", "giveup", "tune", "checkpoint", "restore", "idle"}
+	want := []string{"compute", "pack", "send", "wait", "unpack", "redundant", "reduce", "stage", "retry", "giveup", "tune", "checkpoint", "restore", "restart", "watchdog", "idle"}
 	kinds := Kinds()
 	if len(kinds) != len(want) {
 		t.Fatalf("Kinds() = %d entries, want %d", len(kinds), len(want))
