@@ -23,13 +23,10 @@ import (
 	"op2ca/internal/chaincfg"
 	"op2ca/internal/checkpoint"
 	"op2ca/internal/cluster"
+	"op2ca/internal/cmdutil"
 	"op2ca/internal/core"
-	"op2ca/internal/faults"
 	"op2ca/internal/hydra"
-	"op2ca/internal/machine"
 	"op2ca/internal/mesh"
-	"op2ca/internal/obs"
-	"op2ca/internal/partition"
 	"op2ca/internal/supervise"
 )
 
@@ -47,54 +44,14 @@ func main() {
 		serial      = flag.Bool("serial", false, "run simulated ranks on one host thread")
 		explain     = flag.Bool("explain", false, "print each chain's inspection plan and exit")
 		verify      = flag.Bool("verify", false, "compare final state against the sequential reference")
-		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
-		metricsPath = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
-		modelCheck  = flag.Bool("model-check", false, "print Equation (1)/(3) predictions next to measured virtual times")
-		profile     = flag.Bool("profile", false,
-			"print the critical-path / communication-matrix / imbalance report (forces tracing; the run stays bit-identical)")
-		autoTune = flag.Bool("autotune", false,
-			"let the model-driven autotuner pick each chain's execution policy (requires -backend ca); results stay bit-identical to any static configuration")
-		faultSpec = flag.String("faults", "",
-			"deterministic fault-injection spec, e.g. drop=0.01,straggler=rank3:10x,seed=42 (see internal/faults); results stay bit-identical, virtual times include recovery")
-		ckptFlag = flag.String("checkpoint", "",
-			"periodic snapshots, e.g. every=5,path=ck.bin,keep=3: checkpoint the backend after every N iterations, rotating keep=K verified generations (requires -backend op2 or ca)")
-		restorePath = flag.String("restore", "",
-			"resume from a checkpoint file instead of running setup; completed iterations are skipped (requires -backend op2 or ca)")
-		superviseFlag = flag.String("supervise", "",
-			"self-healing supervised execution, e.g. on or budget=8,backoff=1,watchdog=50: catch injected crashes, exchange failures and no-progress stalls, restore from the newest valid checkpoint generation and resume (requires -backend op2 or ca; incompatible with -restore)")
+		shared      cmdutil.RunFlags
 	)
+	shared.Register()
 	flag.Parse()
 
-	var ckpt checkpoint.Spec
-	if *ckptFlag != "" {
-		s, err := checkpoint.ParseSpec(*ckptFlag)
-		if err != nil {
-			fatal(err)
-		}
-		ckpt = s
-	}
-	svSpec, err := supervise.ParseSpec(*superviseFlag)
+	run, err := shared.Resolve("hydra", *backendName)
 	if err != nil {
 		fatal(err)
-	}
-	if (*ckptFlag != "" || *restorePath != "" || svSpec.Enabled) && *backendName == "seq" {
-		fatal(fmt.Errorf("-checkpoint/-restore/-supervise need a distributed backend (op2 or ca)"))
-	}
-	if svSpec.Enabled && *restorePath != "" {
-		fatal(fmt.Errorf("-supervise and -restore are incompatible: the supervisor recovers from the checkpoint ring itself"))
-	}
-
-	var tracer *obs.Tracer
-	if *tracePath != "" || *profile {
-		tracer = obs.New()
-	}
-	var plan *faults.Plan
-	if *faultSpec != "" {
-		p, err := faults.Parse(*faultSpec)
-		if err != nil {
-			fatal(err)
-		}
-		plan = p
 	}
 
 	m := mesh.RotorForNodes(*meshNodes)
@@ -125,15 +82,6 @@ func main() {
 	fmt.Printf("mesh: %d nodes, %d edges, %d pedges, %d bnd, %d cbnd\n",
 		m.NNodes, m.NEdges, m.NPedges, m.NBedges, m.NCbnd)
 
-	var ring *checkpoint.Ring
-	if ckpt.Enabled() {
-		r, err := checkpoint.NewRing(ckpt)
-		if err != nil {
-			fatal(err)
-		}
-		ring = r
-	}
-
 	var b core.Backend
 	var cb *cluster.Backend
 	startIter := 0
@@ -141,11 +89,11 @@ func main() {
 	case "seq":
 		b = core.NewSeq()
 	case "op2", "ca":
-		mach, err := machineByName(*machName)
+		mach, err := cmdutil.MachineByName(*machName)
 		if err != nil {
 			fatal(err)
 		}
-		assign, err := assignment(m, *partName, *ranks)
+		assign, err := cmdutil.Assignment(m, *partName, *ranks)
 		if err != nil {
 			fatal(err)
 		}
@@ -153,22 +101,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *autoTune && *backendName != "ca" {
-			fmt.Fprintln(os.Stderr, "hydra: -autotune requires -backend ca; ignored")
-			*autoTune = false
-		}
 		ccfg := cluster.Config{
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: *ranks,
 			Depth: depth, MaxChainLen: 6, CA: *backendName == "ca",
-			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: tracer, Faults: plan,
-			AutoTune: *autoTune,
+			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: run.Tracer, Faults: run.Plan,
+			AutoTune: run.AutoTune,
 		}
-		if svSpec.Enabled {
+		if run.Supervise.Enabled {
 			// Supervised self-healing execution: the supervisor owns the
 			// whole construct/run loop, restoring from the newest valid
 			// checkpoint generation after each caught failure.
 			runner := &supervise.Runner{
-				Spec: svSpec, Plan: plan, Ring: ring, Tracer: tracer,
+				Spec: run.Supervise, Plan: run.Plan, Ring: run.Ring, Tracer: run.Tracer,
 				Body: func(st *checkpoint.State, sup *supervise.Supervisor) error {
 					start := 0
 					var err error
@@ -182,12 +126,12 @@ func main() {
 					}
 					sup.Adopt(cb)
 					if st != nil {
-						if _, err := fmt.Sscanf(st.Note, "iter=%d", &start); err != nil {
-							return fmt.Errorf("checkpoint note %q is not an iteration marker: %w", st.Note, err)
+						if start, err = cmdutil.ParseIterNote(st.Note); err != nil {
+							return err
 						}
 					}
 					b = cb
-					return runIters(b, cb, app, start, *iters, *backendName == "ca", ckpt, ring)
+					return runIters(b, cb, app, start, *iters, *backendName == "ca", run.Ckpt, run.Ring)
 				},
 			}
 			sup, err := runner.Run()
@@ -195,14 +139,10 @@ func main() {
 				fatal(err)
 			}
 			sup.Finish(cb.Stats())
-			if sv := cb.Stats().Supervise; sv.Restarts > 0 {
-				fmt.Printf("supervise: recovered from %d failures (crash %d exchange %d watchdog %d), %d generations quarantined\n",
-					sv.Restarts, sv.CrashRestarts, sv.ExchangeRestarts, sv.WatchdogTrips, sv.Quarantined)
-			}
 			break
 		}
-		if *restorePath != "" {
-			f, err := os.Open(*restorePath)
+		if run.Restore != "" {
+			f, err := os.Open(run.Restore)
 			if err != nil {
 				fatal(err)
 			}
@@ -212,10 +152,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if _, err := fmt.Sscanf(note, "iter=%d", &startIter); err != nil {
-				fatal(fmt.Errorf("checkpoint note %q is not an iteration marker: %w", note, err))
+			if startIter, err = cmdutil.ParseIterNote(note); err != nil {
+				fatal(err)
 			}
-			fmt.Printf("restored from %s: setup + %d iterations already complete\n", *restorePath, startIter)
+			fmt.Printf("restored from %s: setup + %d iterations already complete\n", run.Restore, startIter)
 		} else {
 			cb, err = cluster.New(ccfg)
 			if err != nil {
@@ -228,32 +168,21 @@ func main() {
 	}
 
 	chained := *backendName == "ca"
-	if !svSpec.Enabled {
+	if !run.Supervise.Enabled {
 		crash := supervise.CatchCrash(func() {
-			if err := runIters(b, cb, app, startIter, *iters, chained, ckpt, ring); err != nil {
+			if err := runIters(b, cb, app, startIter, *iters, chained, run.Ckpt, run.Ring); err != nil {
 				fatal(err)
 			}
 		})
 		if crash != nil {
-			fmt.Fprintf(os.Stderr, "hydra: injected crash of rank %d at exchange %d\n", crash.Rank, crash.Exchange)
-			if ring != nil {
-				if gens, err := ring.Generations(); err == nil && len(gens) > 0 {
-					fmt.Fprintf(os.Stderr, "hydra: resume with -restore %s (drop the crash= clause), or rerun with -supervise on\n", gens[0].Path)
-				}
-			}
-			os.Exit(3)
+			run.CrashExit(crash)
 		}
 	}
 	fmt.Printf("backend %s: setup + %d iterations complete\n", b.Name(), *iters)
 	if cb != nil {
 		fmt.Printf("virtual time (slowest rank): %.6fs over %d ranks\n", cb.MaxClock(), cb.NParts())
-		if plan != nil {
-			fs := cb.Stats().Faults
-			fmt.Printf("faults: %s -> drops %d corrupts %d delays %d retries %d giveups %d fallback_ungrouped %d fallback_perloop %d\n",
-				plan.String(), fs.Drops, fs.Corrupts, fs.Delays, fs.Retries, fs.Giveups,
-				fs.FallbackUngrouped, fs.FallbackPerLoop)
-		}
-		if *profile {
+		run.PrintRunSummary(cb)
+		if run.Profile {
 			// Attach the analysis to Stats before any report renders; the
 			// full report prints here unless -stats already includes it.
 			if p := cb.Profile(); p != nil && !*stats {
@@ -263,48 +192,21 @@ func main() {
 		if *stats {
 			fmt.Print(cb.Stats().String())
 		}
-		if *autoTune && !*stats {
+		if run.AutoTune && !*stats {
 			fmt.Print(cb.Stats().AutoTune.Report())
 		}
-		if *modelCheck {
+		if run.ModelCheck {
 			fmt.Print(cb.ModelReport())
 		}
-		if err := writeObservability(tracer, *tracePath, *metricsPath, cb); err != nil {
+		if err := run.WriteObservability(cb); err != nil {
 			fatal(err)
 		}
 		if *verify {
 			verifyAgainstSeq(cb, m, app, *iters, chained, *safe)
 		}
-	} else if *tracePath != "" || *metricsPath != "" || *modelCheck || *profile || plan != nil {
+	} else if run.Trace != "" || run.Metrics != "" || run.ModelCheck || run.Profile || run.Plan != nil {
 		fmt.Fprintln(os.Stderr, "hydra: -trace/-metrics/-model-check/-profile/-faults need a distributed backend (op2 or ca); ignored for seq")
 	}
-}
-
-// writeObservability exports the trace and metrics files requested on the
-// command line.
-func writeObservability(tracer *obs.Tracer, tracePath, metricsPath string, cb *cluster.Backend) error {
-	if tracePath != "" {
-		if err := tracer.WriteChromeTraceFile(tracePath); err != nil {
-			return err
-		}
-		fmt.Printf("trace: %d spans written to %s (open in Perfetto or chrome://tracing)\n", tracer.Len(), tracePath)
-	}
-	if metricsPath != "" {
-		w := os.Stdout
-		if metricsPath != "-" {
-			f, err := os.Create(metricsPath)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		mw := obs.NewMetricsWriter(w)
-		cb.Stats().WriteMetrics(mw)
-		tracer.WriteSpanMetrics(mw)
-		return mw.Flush()
-	}
-	return nil
 }
 
 // verifyAgainstSeq reruns the identical program sequentially and reports the
@@ -396,7 +298,7 @@ func runIters(b core.Backend, cb *cluster.Backend, app *hydra.App,
 	for it := start; it < iters; it++ {
 		app.RunIteration(b, chained)
 		if ring != nil && ckpt.Enabled() && (it+1)%ckpt.Every == 0 {
-			note := fmt.Sprintf("iter=%d", it+1)
+			note := cmdutil.IterNote(it + 1)
 			if _, err := ring.Write(func(w io.Writer) error {
 				return cb.Checkpoint(w, note)
 			}); err != nil {
@@ -407,33 +309,6 @@ func runIters(b core.Backend, cb *cluster.Backend, app *hydra.App,
 	return nil
 }
 
-func machineByName(name string) (*machine.Machine, error) {
-	switch name {
-	case "archer2":
-		return machine.ARCHER2(), nil
-	case "cirrus":
-		return machine.Cirrus(), nil
-	case "laptop":
-		return machine.Laptop(), nil
-	}
-	return nil, fmt.Errorf("unknown machine %q", name)
-}
-
-func assignment(m *mesh.FV3D, partitioner string, ranks int) (partition.Assignment, error) {
-	switch partitioner {
-	case "kway":
-		return partition.KWay(m.NodeAdjacency(), ranks), nil
-	case "rib":
-		return partition.RIB(m.Coords, 3, ranks), nil
-	case "rcb":
-		return partition.RCB(m.Coords, 3, ranks), nil
-	case "block":
-		return partition.Block(m.NNodes, ranks), nil
-	}
-	return nil, fmt.Errorf("unknown partitioner %q", partitioner)
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hydra:", err)
-	os.Exit(1)
+	cmdutil.Fatal("hydra", err)
 }

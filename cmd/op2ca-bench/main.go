@@ -115,6 +115,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Key the ring path by the workload fingerprint: resume-by-default
+		// must never adopt a leftover ring from an invocation whose results
+		// would differ (same labels, different mesh sizes or iteration
+		// count). See Config.RingSpec.
+		spec = cfg.RingSpec(spec)
+		fmt.Fprintf(os.Stderr, "op2ca-bench: checkpoint ring %s\n", spec.Path)
 		r, err := checkpoint.NewRing(spec)
 		if err != nil {
 			fatal(err)

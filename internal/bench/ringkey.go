@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"op2ca/internal/checkpoint"
+)
+
+// RingSpec returns spec with its path keyed by this configuration's
+// workload fingerprint. op2ca-bench resumes by default from a leftover
+// ring at the -checkpoint path; without the key, a ring written by an
+// unrelated earlier invocation (same path, same experiment labels,
+// different mesh sizes or iteration count) would be adopted silently and
+// the resumed run would complete with the wrong workload's results. With
+// the key, two invocations share a ring path exactly when their results
+// are interchangeable.
+//
+// The fingerprint deliberately excludes:
+//   - crash clauses (and any fault plan reduced to injecting nothing once
+//     they are stripped): a supervised rerun adds or extends the crash
+//     schedule of the invocation it is recovering, and must adopt that
+//     invocation's ring — mirroring the cluster-level checkpoint
+//     fingerprint rule;
+//   - Parallel: host-side threading never changes results or virtual
+//     clocks (canonical-order execution is the repo-wide oracle);
+//   - checkpoint cadence and retention (Every/Keep): they shape when
+//     snapshots are taken, not what the workload computes.
+func (c Config) RingSpec(spec checkpoint.Spec) checkpoint.Spec {
+	fault := ""
+	if c.Faults != nil {
+		stripped := *c.Faults
+		stripped.Crashes = nil
+		if stripped.Enabled() {
+			fault = stripped.String()
+		}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "n8=%d;n24=%d;rs=%g;it=%d;at=%t;faults=%s",
+		c.Nodes8M, c.Nodes24M, c.RankScale, c.Iters, c.AutoTune, fault)
+	spec.Path = fmt.Sprintf("%s.%016x", spec.Path, h.Sum64())
+	return spec
+}

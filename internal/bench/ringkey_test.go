@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"op2ca/internal/checkpoint"
+	"op2ca/internal/faults"
+)
+
+// TestRingSpecKeysPathByWorkload is the regression test for the stale-ring
+// adoption bug: op2ca-bench resumes by default from a leftover ring, so two
+// invocations whose results differ must never share a ring path, while a
+// supervised rerun (same workload plus crash clauses) must share one.
+func TestRingSpecKeysPathByWorkload(t *testing.T) {
+	base := checkpoint.Spec{Every: 1, Path: "ck.bin", Keep: 3}
+	a := Quick()
+	keyed := a.RingSpec(base)
+	if !strings.HasPrefix(keyed.Path, "ck.bin.") || keyed.Path == base.Path {
+		t.Fatalf("keyed path %q should extend the configured path", keyed.Path)
+	}
+	if keyed.Every != base.Every || keyed.Keep != base.Keep {
+		t.Errorf("keying must not change cadence/retention: %+v", keyed)
+	}
+
+	// Same workload -> same path (deterministic across invocations).
+	if again := a.RingSpec(base); again.Path != keyed.Path {
+		t.Errorf("same config keyed to %q then %q", keyed.Path, again.Path)
+	}
+
+	// Differing workloads -> different paths.
+	for _, mut := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"iters", func(c *Config) { c.Iters++ }},
+		{"nodes8m", func(c *Config) { c.Nodes8M *= 2 }},
+		{"nodes24m", func(c *Config) { c.Nodes24M *= 2 }},
+		{"rankscale", func(c *Config) { c.RankScale *= 2 }},
+		{"autotune", func(c *Config) { c.AutoTune = !c.AutoTune }},
+		{"faults", func(c *Config) { c.Faults = faults.MustParse("drop=0.01,seed=3") }},
+	} {
+		b := Quick()
+		mut.mut(&b)
+		if got := b.RingSpec(base); got.Path == keyed.Path {
+			t.Errorf("%s change kept ring path %q", mut.name, got.Path)
+		}
+	}
+
+	// Crash clauses are stripped: the supervised rerun of a crashed
+	// invocation extends the crash schedule but must adopt the same ring.
+	crashed := Quick()
+	crashed.Faults = faults.MustParse("crash=rank0@150,seed=1")
+	rerun := Quick()
+	rerun.Faults = faults.MustParse("crash=rank0@150,crash=rank1@50,seed=1")
+	cp, rp := crashed.RingSpec(base).Path, rerun.RingSpec(base).Path
+	if cp != rp {
+		t.Errorf("crash-schedule change moved the ring: %q vs %q", cp, rp)
+	}
+	if clean := Quick().RingSpec(base).Path; clean != cp {
+		t.Errorf("crash-only plan keyed differently from no plan: %q vs %q", cp, clean)
+	}
+	// Parallel never changes results; it must not move the ring either.
+	serial := Quick()
+	serial.Parallel = false
+	if sp := serial.RingSpec(base).Path; sp != keyed.Path {
+		t.Errorf("-serial moved the ring: %q vs %q", sp, keyed.Path)
+	}
+
+	// End to end: a ring written under workload A is invisible to workload
+	// B — B's keyed path starts a fresh, empty ring.
+	dir := t.TempDir()
+	onDisk := checkpoint.Spec{Every: 1, Path: filepath.Join(dir, "ck.bin"), Keep: 3}
+	ringA, err := checkpoint.NewRing(a.RingSpec(onDisk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ringA.Write(func(w io.Writer) error {
+		_, err := checkpoint.Encode(w, &checkpoint.State{Note: "label=mgcfd,iter=3"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gens, err := ringA.Generations(); err != nil || len(gens) != 1 {
+		t.Fatalf("workload A ring = %v gens, %v; want 1", gens, err)
+	}
+	b := Quick()
+	b.Iters++
+	ringB, err := checkpoint.NewRing(b.RingSpec(onDisk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := ringB.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 0 {
+		t.Errorf("workload B adopted %d generations from workload A's ring", len(gens))
+	}
+}

@@ -83,7 +83,14 @@ func TestParseSpec(t *testing.T) {
 	if spec, err = ParseSpec("path=x, every=1"); err != nil || spec.Every != 1 || spec.Path != "x" {
 		t.Fatalf("order/space variant = %+v, %v", spec, err)
 	}
-	for _, bad := range []string{"", "every=5", "path=x", "every=0,path=x", "every=a,path=x", "bogus=1", "every"} {
+	for _, bad := range []string{
+		"", "every=5", "path=x", "every=0,path=x", "every=a,path=x", "bogus=1", "every",
+		"every=-2,path=x",              // negative period
+		"every=1,path=x,keep=-1",       // negative generation count
+		"every=1,every=2,path=x",       // duplicate key
+		"every=1,path=x,path=y",        // duplicate path
+		"every=1,path=x,keep=2,keep=2", // duplicate keep, even with equal values
+	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}

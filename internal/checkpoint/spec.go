@@ -28,14 +28,21 @@ type Spec struct {
 func (s Spec) Enabled() bool { return s.Every > 0 && s.Path != "" }
 
 // ParseSpec parses "every=N,path=P[,keep=K]" (every and path required, any
-// order; keep defaults to 1).
+// order; keep defaults to 1). Each key may appear at most once — a
+// duplicate is almost always a copy-paste error, and silently letting the
+// last occurrence win would mask it.
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
+	seen := make(map[string]bool, 3)
 	for _, field := range strings.Split(s, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
 		if !ok {
 			return Spec{}, fmt.Errorf("checkpoint spec: %q is not key=value", field)
 		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("checkpoint spec: duplicate key %q", key)
+		}
+		seen[key] = true
 		switch key {
 		case "every":
 			n, err := strconv.Atoi(val)

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"op2ca/internal/autotune"
 	"op2ca/internal/chaincfg"
@@ -170,6 +171,12 @@ type Backend struct {
 	// max clock at the end of the last completed exchange.
 	watchdog     float64
 	lastProgress float64
+	// cancelled is the cooperative cancellation flag (see Cancel): set from
+	// any goroutine, observed by deliver at the next exchange boundary,
+	// which panics with a typed *CancelledError. Sticky for the lifetime of
+	// the Backend instance — a cancelled run is abandoned, not resumed in
+	// place; resumption happens on a fresh Backend via RestoreState.
+	cancelled atomic.Bool
 	// warmPlans records plan-cache keys restored from a checkpoint whose
 	// entries must be rebuilt on first use but accounted as cache hits,
 	// so PlanCacheStats continue exactly as in the uninterrupted run.

@@ -49,6 +49,13 @@ func (d delivery) restartTime(timeout float64) float64 { return d.failAt + timeo
 func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, maxRetries int) delivery {
 	seq := b.faultSeq
 	b.faultSeq++
+	// Cooperative cancellation is observed only here, at the exchange
+	// boundary — never mid-kernel or mid-pack — so every ring generation
+	// written before this point is complete and restorable. An atomic load
+	// keeps the clean path allocation-free and branch-cheap.
+	if b.cancelled.Load() {
+		panic(&CancelledError{Exchange: seq})
+	}
 	plan := b.cfg.Faults
 	// Crash faults fire before any message arithmetic: the process dies at
 	// a deterministic exchange sequence number, recoverable only by

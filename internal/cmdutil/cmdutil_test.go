@@ -1,0 +1,95 @@
+package cmdutil
+
+import (
+	"strings"
+	"testing"
+
+	"op2ca/internal/mesh"
+)
+
+func TestResolveValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		flags   RunFlags
+		backend string
+		wantErr string
+	}{
+		{"ckpt-needs-dist", RunFlags{Checkpoint: "every=1,path=x"}, "seq", "distributed backend"},
+		{"restore-needs-dist", RunFlags{Restore: "x"}, "seq", "distributed backend"},
+		{"supervise-needs-dist", RunFlags{Supervise: "on"}, "seq", "distributed backend"},
+		{"supervise-vs-restore", RunFlags{Supervise: "on", Restore: "x"}, "ca", "incompatible"},
+		{"bad-ckpt", RunFlags{Checkpoint: "every=0,path=x"}, "ca", "positive integer"},
+		{"dup-ckpt-key", RunFlags{Checkpoint: "every=1,path=x,every=2"}, "ca", "duplicate"},
+		{"bad-supervise", RunFlags{Supervise: "budget=-1"}, "ca", "non-negative"},
+		{"bad-faults", RunFlags{Faults: "drop=2"}, "ca", "drop"},
+	} {
+		_, err := tc.flags.Resolve("test", tc.backend)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: Resolve err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestResolveBuildsDerivedState(t *testing.T) {
+	dir := t.TempDir()
+	r, err := (&RunFlags{
+		Checkpoint: "every=2,path=" + dir + "/ck.bin,keep=3",
+		Supervise:  "budget=2",
+		Faults:     "drop=0.01,seed=5",
+		Trace:      dir + "/trace.json",
+	}).Resolve("prog", "ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ring == nil || r.Ckpt.Every != 2 || r.Ckpt.Keep != 3 {
+		t.Errorf("ring/ckpt not resolved: %+v", r.Ckpt)
+	}
+	if !r.Supervise.Enabled || r.Supervise.Budget != 2 {
+		t.Errorf("supervise spec = %+v", r.Supervise)
+	}
+	if r.Plan == nil || r.Plan.Drop != 0.01 {
+		t.Errorf("fault plan = %+v", r.Plan)
+	}
+	if r.Tracer == nil {
+		t.Error("tracer not created for -trace")
+	}
+	// AutoTune silently downgrades off the CA backend.
+	r2, err := (&RunFlags{AutoTune: true}).Resolve("prog", "op2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.AutoTune {
+		t.Error("autotune survived a non-CA backend")
+	}
+}
+
+func TestIterNoteRoundTrip(t *testing.T) {
+	n, err := ParseIterNote(IterNote(17))
+	if err != nil || n != 17 {
+		t.Fatalf("round trip = %d, %v", n, err)
+	}
+	if _, err := ParseIterNote("setup complete"); err == nil {
+		t.Error("non-iteration note accepted")
+	}
+}
+
+func TestMachineAndPartitioner(t *testing.T) {
+	for _, name := range []string{"archer2", "cirrus", "laptop"} {
+		if m, err := MachineByName(name); err != nil || m == nil {
+			t.Errorf("MachineByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := MachineByName("cray"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	m := mesh.Rotor(6, 5, 4)
+	for _, p := range []string{"kway", "rib", "rcb", "block"} {
+		a, err := Assignment(m, p, 3)
+		if err != nil || len(a) != m.NNodes {
+			t.Errorf("Assignment(%q) len %d, %v", p, len(a), err)
+		}
+	}
+	if _, err := Assignment(m, "metis", 3); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+}

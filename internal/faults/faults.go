@@ -128,12 +128,15 @@ func (p *Plan) Enabled() bool {
 }
 
 // Parse builds a Plan from a spec string. An empty spec yields a valid plan
-// that injects nothing.
+// that injects nothing. Scalar clauses (drop, corrupt, delay, seed,
+// maxretries) may appear at most once — a duplicate is rejected rather than
+// last-wins; straggler and crash clauses repeat, one per rank or exchange.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{Seed: 1, DelayFactor: 1}
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
+	seen := make(map[string]bool, 4)
 	for _, clause := range strings.Split(spec, ",") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
@@ -142,6 +145,12 @@ func Parse(spec string) (*Plan, error) {
 		key, val, ok := strings.Cut(clause, "=")
 		if !ok {
 			return nil, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		if key != "straggler" && key != "crash" {
+			if seen[key] {
+				return nil, fmt.Errorf("faults: duplicate clause %q", key)
+			}
+			seen[key] = true
 		}
 		switch key {
 		case "drop":
@@ -182,6 +191,9 @@ func Parse(spec string) (*Plan, error) {
 			}
 			if p.Stragglers == nil {
 				p.Stragglers = map[int32]float64{}
+			}
+			if _, dup := p.Stragglers[int32(rank)]; dup {
+				return nil, fmt.Errorf("faults: two straggler clauses for rank %d", rank)
 			}
 			p.Stragglers[int32(rank)] = f
 		case "crash":

@@ -58,8 +58,15 @@ func TestParseErrors(t *testing.T) {
 		"straggler=rank-1:2x", // negative rank
 		"seed=abc",
 		"maxretries=0",
+		"maxretries=-3", // negative budget
 		"bogus=1",
 		"dangling",
+		"drop=0.1,drop=0.2",                     // duplicate scalar clause
+		"corrupt=0.1,corrupt=0.1",               // duplicate, even with equal values
+		"delay=2x@0.1,delay=3x@0.2",             // duplicate delay
+		"seed=1,seed=2",                         // duplicate seed
+		"maxretries=3,maxretries=4",             // duplicate retry budget
+		"straggler=rank1:2x,straggler=rank1:3x", // duplicate straggler rank
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"time"
+
+	"op2ca/internal/checkpoint"
+	"op2ca/internal/cluster"
+	"op2ca/internal/supervise"
+)
+
+// State is a job lifecycle state. The machine is
+//
+//	queued -> running -> done | failed | cancelled
+//
+// with two loops back into the queue: running -> preempted -> running
+// (cooperative cancellation, no supervise budget charged) and
+// running -> queued (supervised restart after a recoverable failure).
+// Preempted jobs wait in the queue like queued ones, but keep the
+// distinct state so a status poll shows why they left their worker.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StatePreempted State = "preempted"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a job's lifecycle log, streamed as NDJSON by the
+// events endpoint.
+type Event struct {
+	Seq    int       `json:"seq"`
+	Time   time.Time `json:"time"`
+	State  State     `json:"state"`
+	Worker string    `json:"worker,omitempty"`
+	Msg    string    `json:"msg,omitempty"`
+}
+
+// job is the service-internal record. The supervisor and ring are owned
+// exclusively by whichever worker is executing the job (a job is on at
+// most one worker at a time); every other field is guarded by the
+// service mutex, with mirrors (restarts) for values the view needs while
+// an attempt is in flight.
+type job struct {
+	id   string
+	w    *workload
+	sup  *supervise.Supervisor
+	ring *checkpoint.Ring
+
+	state       State
+	worker      string   // worker executing now, or last to execute
+	workers     []string // every worker that started an attempt, in order
+	attempts    int
+	preemptions int
+	restarts    int // mirror of sup.Restarts(), updated at attempt end
+	errMsg      string
+	result      *Result
+	events      []Event
+	cancelled   bool // cancel intent: observed at the next exchange boundary
+	preempt     bool // preempt intent: like cancel, but requeues
+	backend     *cluster.Backend
+	submitted   time.Time
+	finished    time.Time
+}
+
+// JobView is the wire form of a job's status.
+type JobView struct {
+	ID          string     `json:"id"`
+	Tenant      string     `json:"tenant"`
+	App         string     `json:"app"`
+	State       State      `json:"state"`
+	Worker      string     `json:"worker,omitempty"`
+	Workers     []string   `json:"workers,omitempty"`
+	Attempts    int        `json:"attempts"`
+	Preemptions int        `json:"preemptions"`
+	Restarts    int        `json:"restarts"`
+	Error       string     `json:"error,omitempty"`
+	Submitted   time.Time  `json:"submitted"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	Events      []Event    `json:"events"`
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"op2ca/internal/bench"
+	"op2ca/internal/supervise"
+)
+
+// Result is a finished job's committed record, in the op2ca-bench
+// snapshot idiom: the resolved spec, the determinism-bearing outputs
+// (checksum, residual, virtual clock, exchange count), and the fault and
+// supervision ledgers. Checksum, residual and max_clock_seconds are the
+// oracle fields — for a given spec they are bitwise identical however
+// many preemptions, migrations and supervised restarts the job survived,
+// and identical to a direct (unserved) run of the same spec.
+type Result struct {
+	JobID  string  `json:"job_id"`
+	Tenant string  `json:"tenant"`
+	Spec   JobSpec `json:"spec"`
+
+	Checksum        string  `json:"checksum"`
+	Residual        float64 `json:"residual,omitempty"` // mgcfd only
+	MaxClockSeconds float64 `json:"max_clock_seconds"`
+	Exchanges       uint64  `json:"exchanges"`
+
+	FaultSpec string                 `json:"fault_spec,omitempty"`
+	Faults    *bench.FaultTotals     `json:"faults,omitempty"`
+	Supervise *bench.SuperviseRecord `json:"supervise,omitempty"`
+
+	// Attempts counts attempt starts (preemptions and supervised
+	// restarts included); Workers lists every worker that started one,
+	// in order — a preempted or crash-restarted job shows at least two
+	// distinct names here.
+	Attempts    int      `json:"attempts"`
+	Preemptions int      `json:"preemptions"`
+	Restarts    int      `json:"restarts"`
+	Workers     []string `json:"workers,omitempty"`
+}
+
+// newResult flattens a successful final attempt into the wire record.
+// Call after sup.Finish so the supervise ledger includes ring
+// write-verification quarantines.
+func newResult(id string, w *workload, out attemptOutcome, sup *supervise.Supervisor,
+	attempts, preemptions int, workers []string) *Result {
+	r := &Result{
+		JobID: id, Tenant: w.spec.Tenant, Spec: w.spec,
+		Checksum: out.checksum, Residual: out.residual,
+		MaxClockSeconds: out.maxClock, Exchanges: out.exchanges,
+		Attempts: attempts, Preemptions: preemptions,
+		Restarts: sup.Restarts(), Workers: workers,
+	}
+	if w.plan != nil {
+		f := out.stats.Faults
+		r.FaultSpec = w.plan.String()
+		r.Faults = &bench.FaultTotals{
+			Drops: f.Drops, Corrupts: f.Corrupts, Delays: f.Delays,
+			Retries: f.Retries, Giveups: f.Giveups,
+			FallbackUngrouped: f.FallbackUngrouped, FallbackPerLoop: f.FallbackPerLoop,
+		}
+	}
+	r.Supervise = bench.NewSuperviseRecord(sup.Stats())
+	return r
+}

@@ -1,0 +1,132 @@
+package service_test
+
+import (
+	"strings"
+	"testing"
+
+	"op2ca/internal/service"
+)
+
+// smallMGCFD is the test workhorse: big enough to exercise multi-rank
+// exchanges and checkpointing, small enough to run in milliseconds.
+func smallMGCFD(tenant string) service.JobSpec {
+	return service.JobSpec{
+		Tenant: tenant, App: "mgcfd",
+		MeshNodes: 800, Ranks: 3, Iters: 4, NChains: 2, Machine: "laptop",
+	}
+}
+
+func smallHydra(tenant string) service.JobSpec {
+	return service.JobSpec{
+		Tenant: tenant, App: "hydra",
+		MeshNodes: 800, Ranks: 3, Iters: 3, Machine: "laptop",
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*service.JobSpec)
+		want string
+	}{
+		{"no-tenant", func(s *service.JobSpec) { s.Tenant = "" }, "tenant"},
+		{"bad-tenant", func(s *service.JobSpec) { s.Tenant = "a b" }, "tenant"},
+		{"bad-app", func(s *service.JobSpec) { s.App = "nekbone" }, "app"},
+		{"seq-backend", func(s *service.JobSpec) { s.Backend = "seq" }, "backend"},
+		{"mesh-too-big", func(s *service.JobSpec) { s.MeshNodes = service.MaxMeshNodes + 1 }, "mesh_nodes"},
+		{"one-rank", func(s *service.JobSpec) { s.Ranks = 1 }, "ranks"},
+		{"neg-iters", func(s *service.JobSpec) { s.Iters = -1 }, "iters"},
+		{"bad-machine", func(s *service.JobSpec) { s.Machine = "cray" }, "machine"},
+		{"bad-partitioner", func(s *service.JobSpec) { s.Partitioner = "metis" }, "partitioner"},
+		{"chains-on-mgcfd", func(s *service.JobSpec) { s.Chains = "chain weight\n" }, "hydra-only"},
+		{"bad-faults", func(s *service.JobSpec) { s.Faults = "drop=2" }, "drop"},
+		{"dup-faults", func(s *service.JobSpec) { s.Faults = "drop=0.1,drop=0.2" }, "duplicate"},
+		{"bad-supervise", func(s *service.JobSpec) { s.Supervise = "budget=-1" }, "non-negative"},
+	} {
+		spec := smallMGCFD("acme")
+		tc.mut(&spec)
+		_, err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	levels := smallHydra("acme")
+	levels.Levels = 2
+	if _, err := levels.Validate(); err == nil || !strings.Contains(err.Error(), "mgcfd-only") {
+		t.Errorf("levels on hydra: err = %v", err)
+	}
+}
+
+func TestValidateFillsDefaults(t *testing.T) {
+	spec := service.JobSpec{Tenant: "acme", App: "hydra"}
+	res, err := service.RunDirect(service.JobSpec{Tenant: "acme", App: "mgcfd", MeshNodes: 200, Ranks: 2, Iters: 1, Machine: "laptop"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Spec
+	if got.Backend != "ca" || got.Levels != 2 || got.Partitioner != "kway" ||
+		got.CheckpointEvery != 1 || got.Supervise != "on" {
+		t.Errorf("mgcfd defaults not filled: %+v", got)
+	}
+	if w, err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	} else if _ = w; spec.Partitioner != "" {
+		t.Error("Validate must not mutate its receiver's caller copy")
+	}
+}
+
+// TestRunDirectDeterministic pins the oracle itself: two direct runs of
+// one spec agree bitwise, and op2 vs ca backends of the same workload
+// agree with each other (the repo-wide canonical-order guarantee).
+func TestRunDirectDeterministic(t *testing.T) {
+	for _, mk := range []func(string) service.JobSpec{smallMGCFD, smallHydra} {
+		spec := mk("acme")
+		a, err := service.RunDirect(spec, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := service.RunDirect(spec, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Checksum != b.Checksum || a.MaxClockSeconds != b.MaxClockSeconds ||
+			a.Residual != b.Residual || a.Exchanges != b.Exchanges {
+			t.Errorf("%s: direct runs disagree: %+v vs %+v", spec.App, a, b)
+		}
+		if a.Checksum == "" || a.MaxClockSeconds <= 0 || a.Exchanges == 0 {
+			t.Errorf("%s: degenerate result %+v", spec.App, a)
+		}
+		op2 := spec
+		op2.Backend = "op2"
+		c, err := service.RunDirect(op2, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Checksum != a.Checksum {
+			t.Errorf("%s: op2 checksum %s != ca %s", spec.App, c.Checksum, a.Checksum)
+		}
+	}
+}
+
+// TestRunDirectSelfHeals pins that a crash clause plus supervision still
+// converges to the clean answer — the property the service's
+// crash-migration path builds on.
+func TestRunDirectSelfHeals(t *testing.T) {
+	clean := smallMGCFD("acme")
+	want, err := service.RunDirect(clean, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := clean
+	crashed.Faults = "crash=rank0@40,seed=1"
+	got, err := service.RunDirect(crashed, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != want.Checksum || got.Residual != want.Residual {
+		t.Errorf("supervised crash run diverged: %s vs %s", got.Checksum, want.Checksum)
+	}
+	if got.Supervise == nil || got.Supervise.CrashRestarts < 1 || got.Attempts < 2 {
+		t.Errorf("crash not exercised: %+v", got.Supervise)
+	}
+}

@@ -54,11 +54,15 @@ const (
 // ParseSpec parses the -supervise flag value. "" is a disabled spec; "on"
 // enables supervision with defaults; budget=N, backoff=T and watchdog=T
 // clauses (comma-separated, any order, each implying "on") override them.
+// Each key may appear at most once: duplicates are rejected rather than
+// last-wins, so a mistyped spec fails loudly instead of silently dropping
+// an override.
 func ParseSpec(s string) (Spec, error) {
 	if strings.TrimSpace(s) == "" {
 		return Spec{}, nil
 	}
 	spec := Spec{Enabled: true, Budget: DefaultBudget, Backoff: DefaultBackoff}
+	seen := make(map[string]bool, 3)
 	for _, field := range strings.Split(s, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
@@ -71,6 +75,10 @@ func ParseSpec(s string) (Spec, error) {
 		if !ok {
 			return Spec{}, fmt.Errorf("supervise spec: %q is not \"on\" or key=value", field)
 		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("supervise spec: duplicate key %q", key)
+		}
+		seen[key] = true
 		switch key {
 		case "budget":
 			n, err := strconv.Atoi(val)

@@ -321,6 +321,16 @@ func TestHangErrorIsTyped(t *testing.T) {
 	}
 }
 
+// TestCancelledErrorNotSupervisable: cooperative cancellation is deliberate,
+// not a failure — a supervisor must never burn restart budget resuming a
+// run its owner asked to stop. The job service catches *CancelledError
+// itself to implement preemption.
+func TestCancelledErrorNotSupervisable(t *testing.T) {
+	if supervise.Supervisable(&cluster.CancelledError{Exchange: 7}) {
+		t.Error("CancelledError must not be supervisable")
+	}
+}
+
 func TestParseSpec(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
@@ -336,7 +346,12 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("ParseSpec(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
 		}
 	}
-	for _, bad := range []string{"off", "budget=-1", "backoff=x", "watchdog=0", "watchdog=-3", "bogus=1"} {
+	for _, bad := range []string{
+		"off", "budget=-1", "backoff=x", "backoff=-1", "watchdog=0", "watchdog=-3", "bogus=1",
+		"budget=1,budget=2",      // duplicate key
+		"on,backoff=2,backoff=2", // duplicate, even with equal values
+		"watchdog=5,watchdog=6",  // duplicate watchdog
+	} {
 		if _, err := supervise.ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}
