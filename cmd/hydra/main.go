@@ -42,6 +42,7 @@ func main() {
 		safe        = flag.Bool("safe", false, "let the inspector pick conservative halo extensions")
 		stats       = flag.Bool("stats", false, "print per-loop/per-chain statistics")
 		serial      = flag.Bool("serial", false, "run simulated ranks on one host thread")
+		overlap     = flag.Bool("overlap", false, "run CA chains on the overlap-capable task-graph executor (results are bit-identical; virtual time drops)")
 		explain     = flag.Bool("explain", false, "print each chain's inspection plan and exit")
 		verify      = flag.Bool("verify", false, "compare final state against the sequential reference")
 		shared      cmdutil.RunFlags
@@ -105,7 +106,7 @@ func main() {
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: *ranks,
 			Depth: depth, MaxChainLen: 6, CA: *backendName == "ca",
 			Chains: chains, Machine: mach, Parallel: !*serial, Tracer: run.Tracer, Faults: run.Plan,
-			AutoTune: run.AutoTune,
+			AutoTune: run.AutoTune, Overlap: *overlap,
 		}
 		if run.Supervise.Enabled {
 			// Supervised self-healing execution: the supervisor owns the

@@ -36,6 +36,7 @@ func main() {
 		machName    = flag.String("machine", "archer2", "machine model: archer2, cirrus or laptop")
 		stats       = flag.Bool("stats", false, "print per-loop/per-chain statistics")
 		serial      = flag.Bool("serial", false, "run simulated ranks on one host thread")
+		overlap     = flag.Bool("overlap", false, "run CA chains on the overlap-capable task-graph executor (results are bit-identical; virtual time drops)")
 		verify      = flag.Bool("verify", false, "compare final state against the sequential reference")
 		shared      cmdutil.RunFlags
 	)
@@ -73,7 +74,7 @@ func main() {
 			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: *ranks,
 			Depth: 2, MaxChainLen: 2 * maxInt(*nchains, 1), CA: *backendName == "ca",
 			Machine: mach, Parallel: !*serial, Tracer: run.Tracer, Faults: run.Plan,
-			AutoTune: run.AutoTune,
+			AutoTune: run.AutoTune, Overlap: *overlap,
 		}
 		if run.Supervise.Enabled {
 			// Supervised self-healing execution: the supervisor owns the

@@ -54,6 +54,8 @@ func main() {
 			"per-table relative tolerances for -compare, e.g. default=2%,table2=5% (fractions or percentages; unlisted tables use default, which defaults to exact)")
 		autoTune = flag.Bool("autotune", false,
 			"let the model-driven autotuner pick each chain's execution policy in the CA runs (results stay bit-identical; ablations keep their pinned configurations)")
+		overlap = flag.Bool("overlap", false,
+			"run the CA back-ends on the overlap-capable task-graph chain executor (results stay bit-identical; the dedicated overlap experiment measures both modes regardless)")
 		faultSpec = flag.String("faults", "",
 			"deterministic fault-injection spec, e.g. drop=0.05,seed=1 (see internal/faults); results stay bit-identical, virtual times include recovery")
 		ckptSpec = flag.String("checkpoint", "",
@@ -102,6 +104,7 @@ func main() {
 	}
 	cfg.Faults = plan
 	cfg.AutoTune = *autoTune
+	cfg.Overlap = *overlap
 	svSpec, err := supervise.ParseSpec(*superviseFlag)
 	if err != nil {
 		fatal(err)
@@ -250,6 +253,7 @@ func main() {
 
 	snap := bench.Snapshot{Nodes8M: cfg.Nodes8M, Nodes24M: cfg.Nodes24M,
 		RankScale: cfg.RankScale, Iters: cfg.Iters}
+	cfg.OverlapSink = func(r *bench.OverlapRecord) { snap.Overlap = r }
 	emit(fmt.Sprintf("op2ca-bench: meshes %d/%d nodes, rank scale %g, %d iterations\n\n",
 		cfg.Nodes8M, cfg.Nodes24M, cfg.RankScale, cfg.Iters))
 	for _, name := range names {

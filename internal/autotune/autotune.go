@@ -62,10 +62,14 @@ type Policy struct {
 	// Grouped selects one aggregated message per neighbour (Equation (4));
 	// false sends one message per dat and shell.
 	Grouped bool `json:"grouped,omitempty"`
+	// Overlap selects the pipelined task-graph exchange (post/complete
+	// delivery overlapping core compute); false is bulk-synchronous. Only
+	// meaningful with CA — the per-loop baseline always delivers bulk.
+	Overlap bool `json:"overlap,omitempty"`
 }
 
 // Key renders the policy as a short stable identifier: "op2",
-// "ca:he=2:grouped", "ca:he=3:ungrouped".
+// "ca:he=2:grouped", "ca:he=3:ungrouped", "ca:he=2:grouped:ov".
 func (p Policy) Key() string {
 	if !p.CA {
 		return "op2"
@@ -74,13 +78,16 @@ func (p Policy) Key() string {
 	if !p.Grouped {
 		g = "ungrouped"
 	}
+	if p.Overlap {
+		g += ":ov"
+	}
 	return fmt.Sprintf("ca:he=%d:%s", p.Depth, g)
 }
 
 // Equal reports whether two policies select the same execution.
 func (p Policy) Equal(q Policy) bool {
 	return p.CA == q.CA && p.Depth == q.Depth && p.Grouped == q.Grouped &&
-		slices.Equal(p.HE, q.HE)
+		p.Overlap == q.Overlap && slices.Equal(p.HE, q.HE)
 }
 
 // CACandidate is one communication-avoiding policy with the Equation (3)
@@ -158,6 +165,7 @@ func Score(in ChainInputs, cal Calib) (Decision, error) {
 
 	for i, c := range in.CA {
 		net := cal.Net(c.PackBytes)
+		net.Overlap = c.Policy.Overlap
 		if err := net.Validate(); err != nil {
 			return d, fmt.Errorf("autotune: chain %s candidate %s: %w", in.Chain, c.Policy.Key(), err)
 		}

@@ -39,6 +39,57 @@ func TestPolicyKeyAndEqual(t *testing.T) {
 	if ca.Equal(Policy{}) {
 		t.Error("CA and OP2 must not be Equal")
 	}
+	// Overlap is a policy dimension: it must separate keys (the plan cache
+	// and the decision log key on them) and break equality.
+	ov := Policy{CA: true, Depth: 2, HE: []int{2, 1}, Grouped: true, Overlap: true}
+	if ov.Key() != "ca:he=2:grouped:ov" {
+		t.Errorf("overlap key = %q", ov.Key())
+	}
+	if (Policy{CA: true, Depth: 3, Overlap: true}).Key() != "ca:he=3:ungrouped:ov" {
+		t.Errorf("overlap key = %q", Policy{CA: true, Depth: 3, Overlap: true}.Key())
+	}
+	if ca.Equal(ov) || ov.Equal(ca) {
+		t.Error("bulk and overlapped policies must not be Equal")
+	}
+	if !ov.Equal(Policy{CA: true, Depth: 2, HE: []int{2, 1}, Grouped: true, Overlap: true}) {
+		t.Error("identical overlapped policies must be Equal")
+	}
+}
+
+// TestScoreOverlapCheaper: on a latency-dominated network an overlapped CA
+// candidate must score strictly below its bulk twin — (p-1) latencies and
+// handshakes leave the modelled communication term — so the tuner can
+// prefer it whenever the executor offers both.
+func TestScoreOverlapCheaper(t *testing.T) {
+	cal := Calib{L: 10e-6, B: 1e9, PackRate: 4e9}
+	in := tuneFixture(150)
+	bulk := in.CA[0]
+	ov := bulk
+	ov.Policy = Policy{CA: true, Depth: bulk.Policy.Depth, HE: bulk.Policy.HE,
+		Grouped: bulk.Policy.Grouped, Overlap: true}
+	in.CA = append(in.CA, ov)
+	d, err := Score(in, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tBulk, tOv float64
+	for _, c := range d.Candidates {
+		switch c.Policy {
+		case "ca:he=2:grouped":
+			tBulk = c.Predicted
+		case "ca:he=2:grouped:ov":
+			tOv = c.Predicted
+		}
+	}
+	if tBulk == 0 || tOv == 0 {
+		t.Fatalf("candidates missing: %+v", d.Candidates)
+	}
+	if tOv >= tBulk {
+		t.Errorf("overlapped candidate not cheaper: %g vs bulk %g", tOv, tBulk)
+	}
+	if d.Chosen != "ca:he=2:grouped:ov" {
+		t.Errorf("chosen = %q, want the overlapped candidate", d.Chosen)
+	}
 }
 
 // tuneFixture builds a one-loop chain where the CA candidate's model time

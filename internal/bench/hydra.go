@@ -52,7 +52,7 @@ func (c Config) runHydraPoint(meshNodes, paperNodes int, mach *machine.Machine) 
 			Prog: app.Prog, Primary: app.Nodes, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 6, CA: caMode, Chains: hydra.MustPaperConfig(),
 			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer, Faults: c.Faults,
-			AutoTune: c.AutoTune && caMode,
+			AutoTune: c.AutoTune && caMode, Overlap: c.Overlap && caMode,
 		}
 		var rctx hydraResumeCtx
 		b, start := c.resume(label, ccfg, &rctx)
@@ -298,11 +298,13 @@ func Experiments() map[string]func(Config) *Table {
 		"ablation-gpu-launch": AblationGPULaunch,
 		"ablation-gpudirect":  AblationGPUDirect,
 		"halo-profile":        HaloProfile,
+		"overlap":             OverlapStudy,
 	}
 }
 
 // ExperimentOrder lists experiment names in paper order, ablations last.
 func ExperimentOrder() []string {
 	return []string{"table2", "fig10", "fig11", "table3-4", "fig12", "fig13", "table5",
-		"ablation-depth", "ablation-group", "ablation-partition", "ablation-gpu-launch", "ablation-gpudirect", "halo-profile"}
+		"ablation-depth", "ablation-group", "ablation-partition", "ablation-gpu-launch", "ablation-gpudirect", "halo-profile",
+		"overlap"}
 }

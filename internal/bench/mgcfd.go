@@ -87,7 +87,7 @@ func (c Config) runMGPoint(meshNodes, paperNodes, nchains int, mach *machine.Mac
 			Prog: app.Prog, Primary: app.Primary, Assign: assign, NParts: ranks,
 			Depth: 2, MaxChainLen: 2 * nchains, CA: caMode,
 			Machine: mach, Parallel: c.Parallel, Tracer: c.Tracer, Faults: c.Faults,
-			AutoTune: c.AutoTune && caMode,
+			AutoTune: c.AutoTune && caMode, Overlap: c.Overlap && caMode,
 		}
 		var rctx mgResumeCtx
 		b, start := c.resume(label, ccfg, &rctx)

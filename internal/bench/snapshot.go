@@ -28,6 +28,7 @@ type Snapshot struct {
 	AutoTune  []AutoTuneRun     `json:"autotune,omitempty"`
 	Profiles  []ProfileRecord   `json:"profiles,omitempty"`
 	Supervise *SuperviseRecord  `json:"supervise,omitempty"`
+	Overlap   *OverlapRecord    `json:"overlap,omitempty"`
 	Results   []Result          `json:"results"`
 }
 
@@ -119,6 +120,7 @@ type CommRecord struct {
 	NICSeconds     float64 `json:"nic_seconds"`
 	RetrySeconds   float64 `json:"retry_seconds"`
 	TransitSeconds float64 `json:"transit_seconds"`
+	HiddenSeconds  float64 `json:"hidden_seconds,omitempty"`
 }
 
 // NewProfileRecord flattens an analysis.Profile into its snapshot form.
@@ -138,6 +140,7 @@ func NewProfileRecord(run string, p *analysis.Profile) ProfileRecord {
 			Owner: cc.Name, Msgs: cc.Msgs, Bytes: cc.Bytes,
 			WaitSeconds: cc.Wait, LateSeconds: cc.WaitLate, NICSeconds: cc.WaitNIC,
 			RetrySeconds: cc.WaitRetry, TransitSeconds: cc.WaitTransit,
+			HiddenSeconds: cc.WaitHidden,
 		})
 	}
 	sort.Slice(rec.Comm, func(i, j int) bool { return rec.Comm[i].Owner < rec.Comm[j].Owner })

@@ -50,6 +50,10 @@ type Chain struct {
 	// budget for this chain's exchanges under fault injection; 0 means
 	// "use the back-end default".
 	MaxRetries int
+	// Overlap runs this chain's CA exchanges on the overlap-capable
+	// task-graph executor (pipelined post/complete delivery); results are
+	// bit-identical to bulk-synchronous execution, only virtual time moves.
+	Overlap bool
 	// Loops lists the constituent loops in chain order; may be empty when
 	// the application demarcates chains itself.
 	Loops []LoopCfg
@@ -124,6 +128,8 @@ func Parse(r io.Reader) (*Config, error) {
 					cur.Disabled = true
 				case f == "auto":
 					cur.Auto = true
+				case f == "overlap":
+					cur.Overlap = true
 				case strings.HasPrefix(f, "maxhe="):
 					v, err := strconv.Atoi(strings.TrimPrefix(f, "maxhe="))
 					if err != nil || v < 1 {
@@ -195,6 +201,9 @@ func (c *Config) String() string {
 		}
 		if ch.MaxRetries > 0 {
 			fmt.Fprintf(&b, " maxretries=%d", ch.MaxRetries)
+		}
+		if ch.Overlap {
+			b.WriteString(" overlap")
 		}
 		if ch.Disabled {
 			b.WriteString(" disable")

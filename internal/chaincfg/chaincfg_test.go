@@ -182,3 +182,26 @@ func TestParseComments(t *testing.T) {
 		t.Error("empty config should have no chains")
 	}
 }
+
+// TestParseOverlap: the "overlap" token opts a chain into the pipelined
+// task-graph executor and round-trips through String(). It composes with
+// auto (the tuner then enumerates both delivery modes) but not disable.
+func TestParseOverlap(t *testing.T) {
+	cfg, err := ParseString("chain a overlap\nloop x he=1\nchain b auto overlap\nchain c maxhe=2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Get("a").Overlap || !cfg.Get("b").Overlap || cfg.Get("c").Overlap {
+		t.Fatalf("overlap flags wrong: a=%+v b=%+v c=%+v", cfg.Get("a"), cfg.Get("b"), cfg.Get("c"))
+	}
+	if !cfg.Get("b").Auto {
+		t.Error("auto must survive alongside overlap")
+	}
+	again, err := ParseString(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parsing String(): %v", err)
+	}
+	if !again.Get("a").Overlap || !again.Get("b").Overlap || again.Get("c").Overlap {
+		t.Errorf("overlap lost in round trip: %q", cfg.String())
+	}
+}

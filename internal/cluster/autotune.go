@@ -192,7 +192,7 @@ func (b *Backend) runTuned(ct *chainTune, name string, loops []core.Loop, cfgCha
 	b.tuneSampling = ct
 	decided := ct.decision
 	if decided != nil && decided.ChosenPolicy.CA {
-		b.runChainImpl(name, loops, cfgChain, decided.ChosenPolicy.HE, decided.ChosenPolicy.Grouped, cs, true)
+		b.runChainImpl(name, loops, cfgChain, decided.ChosenPolicy.HE, decided.ChosenPolicy.Grouped, decided.ChosenPolicy.Overlap, cs, true)
 	} else {
 		b.runPerLoop(name, loops, cs, t0)
 	}
@@ -225,7 +225,7 @@ func (b *Backend) tuneDecide(ct *chainTune, name string, loops []core.Loop, cfgC
 		B:              m.Bandwidth,
 		PackRate:       m.PackRate,
 		EagerThreshold: float64(m.EagerThreshold),
-		Handshake:      2 * m.Latency,
+		Handshake:      m.HandshakeTime(),
 		G:              make(map[string]float64, len(loops)),
 	}
 	for _, l := range loops {
@@ -302,11 +302,22 @@ func (b *Backend) caCandidates(name string, loops []core.Loop, cfgChain *chaincf
 		return nil, fmt.Sprintf("chain needs halo depth %d, back-end built with Depth %d", base.MaxDepth, b.cfg.Depth)
 	}
 	var out []autotune.CACandidate
+	// Overlap is a policy dimension only for overlap-eligible chains
+	// (Config.Overlap or the chain's "overlap" token): each feasible
+	// (depth, grouping) pair is then scored both bulk and overlapped, so
+	// the op2-vs-CA comparison stays honest when pipelining changes which
+	// CA shape wins. Bulk-only configurations enumerate exactly as before.
+	modes := []bool{false}
+	if b.overlapFor(cfgChain) {
+		modes = []bool{false, true}
+	}
 	addPlan := func(p ca.Plan, over []int) {
-		if !b.cfg.NoGroupedMsgs {
-			out = append(out, b.caCandidate(loops, p, over, true, ct, cal))
+		for _, ov := range modes {
+			if !b.cfg.NoGroupedMsgs {
+				out = append(out, b.caCandidate(loops, p, over, true, ov, ct, cal))
+			}
+			out = append(out, b.caCandidate(loops, p, over, false, ov, ct, cal))
 		}
-		out = append(out, b.caCandidate(loops, p, over, false, ct, cal))
 	}
 	// The base plan's policy carries exactly the overrides the static path
 	// would use, so its plan-cache key matches a static run's.
@@ -329,7 +340,7 @@ func (b *Backend) caCandidates(name string, loops []core.Loop, cfgChain *chaincf
 // from the halo layouts — per-loop core/halo iteration splits mirroring
 // runChainImpl's ranges exactly — and the message shape from the plan's
 // required exchanges filtered to the dats observed dirty during probing.
-func (b *Backend) caCandidate(loops []core.Loop, p ca.Plan, over []int, grouped bool, ct *chainTune, cal autotune.Calib) autotune.CACandidate {
+func (b *Backend) caCandidate(loops []core.Loop, p ca.Plan, over []int, grouped, overlap bool, ct *chainTune, cal autotune.Calib) autotune.CACandidate {
 	m := b.cfg.Machine
 	var specs []exchangeSpec
 	for _, r := range p.Required {
@@ -367,7 +378,7 @@ func (b *Backend) caCandidate(loops []core.Loop, p ca.Plan, over []int, grouped 
 		}
 	}
 	cand := autotune.CACandidate{
-		Policy: autotune.Policy{CA: true, Depth: p.MaxDepth, HE: over, Grouped: grouped},
+		Policy: autotune.Policy{CA: true, Depth: p.MaxDepth, HE: over, Grouped: grouped, Overlap: overlap},
 		Params: model.ChainParams{
 			Loops:        lp,
 			Neighbours:   float64(maxNeigh),

@@ -50,6 +50,19 @@ type Config struct {
 	// disabled). An ablation knob: isolates the message-count reduction
 	// from the per-loop-exchange elimination.
 	NoGroupedMsgs bool
+	// Overlap switches CA chain exchanges to the overlap-capable
+	// task-graph executor (see taskgraph.go): delivery splits into post
+	// and complete halves, so message latencies and rendezvous handshakes
+	// pipeline behind payload injection instead of serialising on the
+	// sender's NIC, and the receiver's wait is charged only for the
+	// fraction of L + m/B its core computation does not hide. Data
+	// effects are untouched — results stay bitwise identical to
+	// bulk-synchronous execution; only virtual time changes. Individual
+	// chains opt in via the configuration file's "overlap" flag even when
+	// this is false. Per-loop (OP2) exchanges always run
+	// bulk-synchronous: they are the probe/calibration baseline, and
+	// their per-dat eager messages have little pipeline to exploit.
+	Overlap bool
 	// GPUDirect transfers halos GPU-to-GPU without PCIe staging, but —
 	// as the paper observed on Cirrus (Section 3.3) — the transfers do
 	// not overlap with compute kernels, so core computation no longer
@@ -355,7 +368,7 @@ func New(cfg Config) (*Backend, error) {
 	b := &Backend{
 		cfg: cfg,
 		net: netsim.Network{Latency: cfg.Machine.Latency, Bandwidth: cfg.Machine.Bandwidth,
-			EagerThreshold: cfg.Machine.EagerThreshold},
+			EagerThreshold: cfg.Machine.EagerThreshold, Handshake: cfg.Machine.Handshake},
 		owners:     owners,
 		layouts:    halo.Build(cfg.Prog, owners, cfg.NParts, cfg.Depth, cfg.MaxChainLen),
 		dats:       make([][][]float64, cfg.NParts),

@@ -17,7 +17,7 @@ import (
 // every loop's core region while messages are in flight, wait once, then run
 // every loop's halo regions up to its halo extension.
 func (b *Backend) runChain(name string, loops []core.Loop, cfgChain *chaincfg.Chain, cs *ChainStats) {
-	b.runChainImpl(name, loops, cfgChain, b.overridesFor(cfgChain, len(loops)), !b.cfg.NoGroupedMsgs, cs, false)
+	b.runChainImpl(name, loops, cfgChain, b.overridesFor(cfgChain, len(loops)), !b.cfg.NoGroupedMsgs, b.overlapFor(cfgChain), cs, false)
 }
 
 // runChainAuto is runChain for automatically detected (lazy) chains:
@@ -25,7 +25,7 @@ func (b *Backend) runChain(name string, loops []core.Loop, cfgChain *chaincfg.Ch
 // it falls back to per-loop execution.
 func (b *Backend) runChainAuto(name string, loops []core.Loop, cs *ChainStats) {
 	cfgChain := b.cfg.Chains.Get(name)
-	b.runChainImpl(name, loops, cfgChain, b.overridesFor(cfgChain, len(loops)), !b.cfg.NoGroupedMsgs, cs, true)
+	b.runChainImpl(name, loops, cfgChain, b.overridesFor(cfgChain, len(loops)), !b.cfg.NoGroupedMsgs, b.overlapFor(cfgChain), cs, true)
 }
 
 // overridesFor resolves a chain configuration's per-loop halo-extension
@@ -62,11 +62,14 @@ func (b *Backend) runPerLoop(name string, loops []core.Loop, cs *ChainStats, t0 
 	cs.Time += b.maxClock() - t0
 }
 
-// runChainImpl is the CA chain executor. overrides and grouped are the
-// policy knobs: the static path derives them from the configuration
-// (overridesFor, !NoGroupedMsgs), the autotuner passes its chosen policy.
+// runChainImpl is the CA chain executor. overrides, grouped and overlap are
+// the policy knobs: the static path derives them from the configuration
+// (overridesFor, !NoGroupedMsgs, overlapFor), the autotuner passes its
+// chosen policy. With overlap the exchange runs the task-graph pipeline of
+// taskgraph.go; the degradation ladder's ungrouped rung keeps the chain's
+// overlap mode, while the per-loop rung is bulk by construction.
 func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincfg.Chain,
-	overrides []int, grouped bool, cs *ChainStats, auto bool) {
+	overrides []int, grouped, overlap bool, cs *ChainStats, auto bool) {
 	t0 := b.maxClock()
 	m := b.cfg.Machine
 
@@ -149,7 +152,7 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	b.forEachRank(b.fnChainPrep)
 
 	maxR := b.maxRetriesFor(cfgChain)
-	d := b.deliver(post, res.msgs, name, maxR)
+	d := b.deliver(post, res.msgs, name, maxR, overlap)
 	if d.giveups > 0 {
 		// Degradation ladder: the CA exchange could not complete within
 		// its retransmission budget. The cached plan's schedules are what
@@ -177,7 +180,7 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 				}
 				post2[r] = t
 			}
-			d2 := b.deliver(post2, res2.msgs, name, maxR)
+			d2 := b.deliver(post2, res2.msgs, name, maxR, overlap)
 			if d2.giveups == 0 {
 				res, post, d = res2, post2, d2
 				grouped = false
@@ -218,7 +221,11 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	var inbound [][]int
 	var sendStarts []float64
 	if traced && exchanging {
-		sendStarts = sendStartTimes(post, res.msgs, arrivals)
+		if overlap {
+			sendStarts = sendStartTimesOverlapped(b.net, post, res.msgs, arrivals)
+		} else {
+			sendStarts = sendStartTimes(post, res.msgs, arrivals)
+		}
 		b.emitPackSpans(name, res.sendBytes)
 		b.emitSendSpans(name, sendStarts, res.msgs, arrivals)
 		inbound = inboundIndex(b.cfg.NParts, res.msgs)
@@ -377,11 +384,13 @@ func (b *Backend) runChainImpl(name string, loops []core.Loop, cfgChain *chaincf
 	if grouped {
 		unpack = float64(execMaxMsg) / m.PackRate
 	}
+	net := b.modelNet(unpack)
+	net.Overlap = overlap
 	cs.Predicted += model.TCAChain(model.ChainParams{
 		Loops:        lp,
 		Neighbours:   float64(execNeigh),
 		GroupedBytes: float64(execMaxMsg),
-	}, b.modelNet(unpack))
+	}, net)
 	cs.Time += b.maxClock() - t0
 }
 

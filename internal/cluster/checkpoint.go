@@ -60,6 +60,7 @@ type configFingerprint struct {
 	GPUDirect   bool   `json:"gpudirect"`
 	NoGrouped   bool   `json:"no_grouped_msgs"`
 	NoPlanCache bool   `json:"no_plan_cache"`
+	Overlap     bool   `json:"overlap,omitempty"`
 	Machine     string `json:"machine"`
 	// The machine's cost-model scalars guard against two custom machines
 	// sharing a name.
@@ -67,6 +68,7 @@ type configFingerprint struct {
 	Bandwidth      float64 `json:"bandwidth"`
 	PackRate       float64 `json:"pack_rate"`
 	EagerThreshold int64   `json:"eager_threshold"`
+	Handshake      float64 `json:"handshake,omitempty"`
 	GPU            bool    `json:"gpu"`
 	// Faults is the plan spec normalised to its message-fault content: the
 	// crash clause is stripped (a resume must not require re-specifying the
@@ -114,11 +116,13 @@ func (b *Backend) configFingerprint() ([]byte, error) {
 		GPUDirect:      cfg.GPUDirect,
 		NoGrouped:      cfg.NoGroupedMsgs,
 		NoPlanCache:    cfg.NoPlanCache,
+		Overlap:        cfg.Overlap,
 		Machine:        cfg.Machine.Name,
 		Latency:        cfg.Machine.Latency,
 		Bandwidth:      cfg.Machine.Bandwidth,
 		PackRate:       cfg.Machine.PackRate,
 		EagerThreshold: cfg.Machine.EagerThreshold,
+		Handshake:      cfg.Machine.Handshake,
 		GPU:            cfg.Machine.GPU != nil,
 		Faults:         normalizedFaultSpec(cfg),
 		MaxRetries:     b.maxRetries,

@@ -78,6 +78,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		{"ca-ungrouped", func(c *Config) { c.NoGroupedMsgs = true }, false, true},
 		{"ca-lazy", func(c *Config) { c.Lazy = true }, true, false},
 		{"ca-autotune", func(c *Config) { c.AutoTune = true }, false, true},
+		{"ca-overlap", func(c *Config) { c.Overlap = true }, false, true},
 	}
 	plans := []struct {
 		name string
@@ -298,6 +299,18 @@ func TestCheckpointFingerprintMismatch(t *testing.T) {
 	if _, _, err := Restore(bytes.NewReader(snap.Bytes()), badCfg); err == nil ||
 		!strings.Contains(err.Error(), "fingerprint mismatch") {
 		t.Fatalf("restore under different depth = %v, want fingerprint mismatch", err)
+	}
+	// The delivery mode is part of the fingerprint: a bulk snapshot must
+	// not restore into an overlapped config (clock arithmetic would change
+	// mid-run without the stats reflecting it).
+	ovW := newCkptWorkload(m, 1, nloops)
+	ovCfg := cfg
+	ovCfg.Prog = ovW.app.p
+	ovCfg.Primary = ovW.app.nodes
+	ovCfg.Overlap = true
+	if _, _, err := Restore(bytes.NewReader(snap.Bytes()), ovCfg); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("restore under different delivery mode = %v, want fingerprint mismatch", err)
 	}
 }
 

@@ -457,13 +457,19 @@ func TestFloatBitReproducible(t *testing.T) {
 	sa.run(core.NewSeq(), steps, false)
 	want := map[string][]float64{"res": sa.res.Data, "flux": sa.flux.Data}
 	for _, tc := range []struct {
-		name            string
-		ca, chain, tune bool
+		name                     string
+		ca, chain, tune, overlap bool
 	}{
-		{"op2", false, false, false},
-		{"op2-chained", false, true, false},
-		{"ca", true, true, false},
-		{"autotune", true, true, true},
+		{"op2", false, false, false, false},
+		{"op2-chained", false, true, false, false},
+		{"ca", true, true, false, false},
+		{"autotune", true, true, true, false},
+		// Overlapped delivery moves only virtual time; the bit-identity
+		// invariant must hold through the task-graph executor too, and
+		// through the tuner's mid-run policy switches with overlapped
+		// candidates in the mix.
+		{"ca-overlap", true, true, false, true},
+		{"autotune-overlap", true, true, true, true},
 	} {
 		// Every policy runs serially and through a forced multi-worker
 		// pool: host-parallel dispatch must not perturb a single bit
@@ -474,7 +480,7 @@ func TestFloatBitReproducible(t *testing.T) {
 			b, err := New(Config{
 				Prog: a.p, Primary: a.nodes, Assign: partition.KWay(m.NodeAdjacency(), nparts),
 				NParts: nparts, Depth: 2, MaxChainLen: 4, CA: tc.ca, AutoTune: tc.tune,
-				Parallel: workers > 1, Machine: machine.ARCHER2(),
+				Overlap: tc.overlap, Parallel: workers > 1, Machine: machine.ARCHER2(),
 			})
 			if err != nil {
 				t.Fatal(err)

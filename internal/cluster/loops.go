@@ -43,7 +43,10 @@ func (b *Backend) runStandard(l core.Loop, chainName string) {
 	// messages that exhaust the retransmission budget are treated as
 	// delivered by a reliable transport at the final attempt's arrival
 	// (counted as giveups), and execution proceeds.
-	d := b.deliver(post, res.msgs, traceKey, b.maxRetries)
+	// Always bulk delivery (never overlapped): per-loop exchanges are the
+	// probe/calibration baseline, and their spans must decompose as
+	// h*L + m/B for the network fit (see taskgraph.go).
+	d := b.deliver(post, res.msgs, traceKey, b.maxRetries, false)
 	arrivals := d.arrivals
 	recvLast := sc.stdRecvLast
 	clear(recvLast)

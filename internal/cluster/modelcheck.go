@@ -19,11 +19,13 @@ func (b *Backend) modelNet(c float64) model.Net {
 	if m.GPU != nil && !b.cfg.GPUDirect {
 		l = m.GPU.ExchangeLatency(m.Latency)
 	}
-	// The rendezvous handshake always costs two *network* latencies, even
-	// when L itself is the staged-exchange Λ (netsim charges 2·Latency).
+	// The rendezvous handshake is the machine's resolved surcharge (an
+	// explicit value, or the classic 2·Latency request/ack round trip) —
+	// priced on the *network* latency even when L itself is the
+	// staged-exchange Λ, because netsim charges the same resolved value.
 	return model.Net{
 		L: l, B: m.Bandwidth, C: c,
-		EagerThreshold: float64(m.EagerThreshold), Handshake: 2 * m.Latency,
+		EagerThreshold: float64(m.EagerThreshold), Handshake: m.HandshakeTime(),
 	}
 }
 

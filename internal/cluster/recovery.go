@@ -46,42 +46,13 @@ func (d delivery) restartTime(timeout float64) float64 { return d.failAt + timeo
 // of the clean path is identical operation for operation, so enabling fault
 // injection with zero probabilities does not perturb a single clock bit.
 // owner labels the retry/giveup trace spans (the chain or kernel name).
-func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, maxRetries int) delivery {
-	seq := b.faultSeq
-	b.faultSeq++
-	// Cooperative cancellation is observed only here, at the exchange
-	// boundary — never mid-kernel or mid-pack — so every ring generation
-	// written before this point is complete and restorable. An atomic load
-	// keeps the clean path allocation-free and branch-cheap.
-	if b.cancelled.Load() {
-		panic(&CancelledError{Exchange: seq})
-	}
+// overlap selects the pipelined post/complete delivery of the task-graph
+// executor (see taskgraph.go) instead of bulk-synchronous NIC serialisation.
+func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, maxRetries int, overlap bool) delivery {
+	seq := b.exchangeGate(owner)
 	plan := b.cfg.Faults
-	// Crash faults fire before any message arithmetic: the process dies at
-	// a deterministic exchange sequence number, recoverable only by
-	// restarting from a checkpoint. Each clause is gated by its own armed
-	// flag: Restore disarms all of them (a manually resumed run replays the
-	// pre-crash exchanges without dying again), while a supervisor re-arms
-	// the clauses that have not fired yet so the rest of a multi-crash
-	// schedule still fires on the resumed run.
-	for i, c := range plan.CrashSchedule() {
-		if seq == c.Exchange && i < len(b.crashArmed) && b.crashArmed[i] {
-			b.crashArmed[i] = false
-			panic(&faults.CrashError{Rank: c.Rank, Exchange: c.Exchange})
-		}
-	}
-	// The no-progress watchdog trips when the clock has advanced past the
-	// deadline since the last completed exchange — the virtual-time
-	// signature of a stall (e.g. a giveup storm inflating retry backoff).
-	if b.watchdog > 0 {
-		now := b.maxClock()
-		if now-b.lastProgress > b.watchdog {
-			if b.tracer.Enabled() {
-				b.tracer.Emit(0, obs.TrackExec, obs.Watchdog, owner, b.lastProgress, now, 0)
-			}
-			panic(&HangError{Exchange: seq, Last: b.lastProgress, Clock: now, Deadline: b.watchdog})
-		}
-		b.lastProgress = now
+	if overlap {
+		return b.deliverOverlapped(seq, post, msgs, owner, maxRetries)
 	}
 	if !plan.Enabled() {
 		b.scr.arrivals = b.net.DeliverInto(b.scr.arrivals[:0], b.scr.busy, post, msgs)
@@ -161,6 +132,50 @@ func (b *Backend) deliver(post []float64, msgs []netsim.Message, owner string, m
 		}
 	}
 	return d
+}
+
+// exchangeGate runs the per-exchange control checks shared by the bulk and
+// overlapped delivery paths — sequence numbering, cooperative cancellation,
+// scheduled crashes and the no-progress watchdog — and returns the
+// exchange's sequence number.
+func (b *Backend) exchangeGate(owner string) uint64 {
+	seq := b.faultSeq
+	b.faultSeq++
+	// Cooperative cancellation is observed only here, at the exchange
+	// boundary — never mid-kernel or mid-pack — so every ring generation
+	// written before this point is complete and restorable. An atomic load
+	// keeps the clean path allocation-free and branch-cheap.
+	if b.cancelled.Load() {
+		panic(&CancelledError{Exchange: seq})
+	}
+	plan := b.cfg.Faults
+	// Crash faults fire before any message arithmetic: the process dies at
+	// a deterministic exchange sequence number, recoverable only by
+	// restarting from a checkpoint. Each clause is gated by its own armed
+	// flag: Restore disarms all of them (a manually resumed run replays the
+	// pre-crash exchanges without dying again), while a supervisor re-arms
+	// the clauses that have not fired yet so the rest of a multi-crash
+	// schedule still fires on the resumed run.
+	for i, c := range plan.CrashSchedule() {
+		if seq == c.Exchange && i < len(b.crashArmed) && b.crashArmed[i] {
+			b.crashArmed[i] = false
+			panic(&faults.CrashError{Rank: c.Rank, Exchange: c.Exchange})
+		}
+	}
+	// The no-progress watchdog trips when the clock has advanced past the
+	// deadline since the last completed exchange — the virtual-time
+	// signature of a stall (e.g. a giveup storm inflating retry backoff).
+	if b.watchdog > 0 {
+		now := b.maxClock()
+		if now-b.lastProgress > b.watchdog {
+			if b.tracer.Enabled() {
+				b.tracer.Emit(0, obs.TrackExec, obs.Watchdog, owner, b.lastProgress, now, 0)
+			}
+			panic(&HangError{Exchange: seq, Last: b.lastProgress, Clock: now, Deadline: b.watchdog})
+		}
+		b.lastProgress = now
+	}
+	return seq
 }
 
 // maxRetryBudget bounds every user-settable retransmission budget (Config,

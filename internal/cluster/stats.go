@@ -494,6 +494,7 @@ func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
 		mw.Declare("op2ca_imbalance_ratio", "gauge", "Compute load imbalance: max over mean per-rank compute time.")
 		mw.Declare("op2ca_imbalance_compute_seconds", "gauge", "Per-rank compute time (core plus redundant).")
 		mw.Declare("op2ca_comm_wait_seconds", "gauge", "Receiver-observed wait per exchange owner, split by cause.")
+		mw.Declare("op2ca_comm_hidden_seconds", "gauge", "In-flight message time hidden behind the receiver's computation, per exchange owner.")
 		mw.Sample("op2ca_critpath_seconds", extra, p.Path.Length)
 		mw.Sample("op2ca_critpath_segments", extra, float64(len(p.Path.Segments)))
 		mw.Sample("op2ca_critpath_edges", extra, float64(len(p.Path.Edges)))
@@ -522,6 +523,8 @@ func (s *Stats) WriteMetrics(mw *obs.MetricsWriter, extra ...obs.Label) {
 				mw.Sample("op2ca_comm_wait_seconds",
 					append([]obs.Label{{Key: "owner", Value: cc.Name}, {Key: "cause", Value: c.cause}}, extra...), c.v)
 			}
+			mw.Sample("op2ca_comm_hidden_seconds",
+				append([]obs.Label{{Key: "owner", Value: cc.Name}}, extra...), cc.WaitHidden)
 		}
 	}
 }

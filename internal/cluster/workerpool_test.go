@@ -171,7 +171,8 @@ func TestForcedPoolMatchesSerial(t *testing.T) {
 		"clean":  nil,
 		"faulty": faults.MustParse("drop=0.2,straggler=rank1:3x,seed=7"),
 	}
-	for _, mode := range []string{"ca", "ca-ungrouped", "lazy"} {
+	for _, mode := range []string{"ca", "ca-ungrouped", "lazy",
+		"ca-overlap", "ca-ungrouped-overlap", "lazy-overlap"} {
 		for pname, plan := range plans {
 			serialRes, serialB := faultyResult(t, m, 2, plan, mode)
 			parRes, parB := pooledResult(t, m, 2, plan, mode)
@@ -208,6 +209,12 @@ func pooledResult(t *testing.T, m *mesh.FV3D, steps int, plan *faults.Plan, mode
 		cfg.NoGroupedMsgs, chain = true, true
 	case "lazy":
 		cfg.Lazy = true
+	case "ca-overlap":
+		cfg.Overlap, chain = true, true
+	case "ca-ungrouped-overlap":
+		cfg.NoGroupedMsgs, cfg.Overlap, chain = true, true, true
+	case "lazy-overlap":
+		cfg.Lazy, cfg.Overlap = true, true
 	default:
 		t.Fatalf("unknown mode %q", mode)
 	}

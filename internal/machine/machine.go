@@ -32,11 +32,27 @@ type Machine struct {
 	// PackRate is the message pack/unpack memory rate (the c term).
 	PackRate float64
 	// EagerThreshold is the MPI eager/rendezvous protocol switch in
-	// bytes; larger messages pay an extra latency round trip. Zero
-	// disables the distinction.
+	// bytes; larger messages pay the Handshake surcharge. Zero disables
+	// the distinction.
 	EagerThreshold int64
+	// Handshake is the rendezvous surcharge per message above the eager
+	// threshold. Zero means 2*Latency (the classic request/ack round
+	// trip); interconnects with hardware-offloaded rendezvous set a
+	// smaller explicit value. HandshakeTime resolves the default.
+	Handshake float64
 	// GPU is non-nil on accelerator machines.
 	GPU *gpusim.Device
+}
+
+// HandshakeTime returns the resolved rendezvous surcharge: the explicit
+// Handshake when set, else the 2*Latency default. Both the network
+// simulator and the analytic model price rendezvous messages with this
+// value, so a preset with Handshake != 2L cannot drift between them.
+func (m *Machine) HandshakeTime() float64 {
+	if m.Handshake == 0 {
+		return 2 * m.Latency
+	}
+	return m.Handshake
 }
 
 // IterTime returns g_l: the time of one iteration of kernel k on this
@@ -93,8 +109,9 @@ func ARCHER2() *Machine {
 		// exchange pressure (2x100 Gb/s injection shared by 128 ranks,
 		// partially relieved by intra-node neighbours).
 		Bandwidth:      5e8,
-		PackRate:       4e9,   // single-core memcpy rate
-		EagerThreshold: 65536, // Cray MPICH default eager limit
+		PackRate:       4e9,    // single-core memcpy rate
+		EagerThreshold: 65536,  // Cray MPICH default eager limit
+		Handshake:      1.6e-5, // software rendezvous: request/ack round trip (2L)
 	}
 }
 
@@ -111,7 +128,8 @@ func Cirrus() *Machine {
 		Latency:        4.0e-6,        // FDR InfiniBand + MPT per-message overhead
 		Bandwidth:      6.8e9 / ranks, // FDR 54.5 Gb/s per node shared by 4 ranks
 		PackRate:       8e9,
-		EagerThreshold: 32768, // SGI MPT eager limit
+		EagerThreshold: 32768,  // SGI MPT eager limit
+		Handshake:      8.0e-6, // software rendezvous: request/ack round trip (2L)
 		GPU:            gpusim.V100(),
 	}
 }

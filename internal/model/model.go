@@ -71,6 +71,13 @@ type Net struct {
 	// (2·network-latency in netsim; the handshake crosses the wire even
 	// when L itself is the staged-GPU Λ).
 	Handshake float64
+	// Overlap switches CommTime to the pipelined (post/complete) delivery
+	// of netsim.Network.DeliverOverlapped: rendezvous handshakes are
+	// initiated at post time and proceed concurrently, and only the m/B
+	// injection term serialises on the sender's NIC, so a k-message
+	// exchange hides (k-1) latencies and handshakes behind the pipeline.
+	// The executors set it per policy; it never changes MsgTime itself.
+	Overlap bool
 }
 
 // MsgTime prices one m-byte point-to-point message: L + m/B, plus the
@@ -78,6 +85,28 @@ type Net struct {
 // model-side mirror of netsim.Network.MessageTime.
 func (n Net) MsgTime(m float64) float64 {
 	t := n.L + m/n.B
+	if n.EagerThreshold > 0 && m > n.EagerThreshold {
+		t += n.Handshake
+	}
+	return t
+}
+
+// CommTime prices the full communication term of an exchange in which one
+// rank sends (or receives) k messages of m bytes each: the virtual time
+// from the sends being posted to the last arrival. Bulk-synchronous
+// delivery serialises the complete per-message cost on the NIC, k times
+// MsgTime; overlapped delivery (Overlap set, mirroring
+// netsim.Network.DeliverOverlapped) serialises only the injection term, so
+// latency and the rendezvous handshake are paid once: k*m/B + L
+// (+ Handshake above the eager threshold). The two agree at k = 1.
+func (n Net) CommTime(k, m float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if !n.Overlap {
+		return k * n.MsgTime(m)
+	}
+	t := k*(m/n.B) + n.L
 	if n.EagerThreshold > 0 && m > n.EagerThreshold {
 		t += n.Handshake
 	}
@@ -109,9 +138,11 @@ func (n Net) Validate() error {
 
 // TOp2Loop is Equation (1): the runtime of one standard OP2 loop,
 // MAX[g*S^c, 2*d*p*(L+m/B)] + g*S^1, with the per-message cost carrying
-// the rendezvous handshake above the eager threshold (Net.MsgTime).
+// the rendezvous handshake above the eager threshold and the 2*d*p message
+// aggregation priced by Net.CommTime — bulk-synchronous by default, the
+// pipelined overlap term (only m/B serialises) when Net.Overlap is set.
 func TOp2Loop(p LoopParams, n Net) float64 {
-	comm := 2 * p.NDats * p.Neighbours * n.MsgTime(p.MsgBytes)
+	comm := n.CommTime(2*p.NDats*p.Neighbours, p.MsgBytes)
 	t := p.G * p.CoreIters
 	if comm > t {
 		t = comm
@@ -143,16 +174,19 @@ type ChainParams struct {
 }
 
 // TCAChain is Equation (3): MAX[Σ g_l*S_l^c, p*(L + m^r/B + c)] + Σ g_l*S_l^h,
-// with the grouped message priced by Net.MsgTime so the rendezvous handshake
-// applies once m^r crosses the eager threshold (the common case: grouping
-// pushes per-neighbour payloads past it).
+// with the grouped message priced so the rendezvous handshake applies once
+// m^r crosses the eager threshold (the common case: grouping pushes
+// per-neighbour payloads past it). The p-message aggregation goes through
+// Net.CommTime: under Overlap only the injection term serialises, so p-1
+// latencies and handshakes leave the communication term; the per-neighbour
+// pack/unpack cost c stays per message in both modes.
 func TCAChain(c ChainParams, n Net) float64 {
 	coreSum, haloSum := 0.0, 0.0
 	for _, l := range c.Loops {
 		coreSum += l.G * l.CoreIters
 		haloSum += l.G * l.HaloIters
 	}
-	comm := c.Neighbours * (n.MsgTime(c.GroupedBytes) + n.C)
+	comm := n.CommTime(c.Neighbours, c.GroupedBytes) + c.Neighbours*n.C
 	t := coreSum
 	if comm > t {
 		t = comm
@@ -284,16 +318,23 @@ func BreakEvenNeighbourBytes(op2 []LoopParams, ca ChainParams, n Net) float64 {
 	if ca.Neighbours == 0 {
 		return math.Inf(1)
 	}
-	// MsgTime is piecewise in m: solve the eager branch first, and if the
-	// solution lands above the threshold re-solve with the rendezvous
-	// handshake included. When the two branches disagree (eager solution
-	// above the threshold, rendezvous solution below it) the cost jump at
-	// the threshold straddles the target, so the break-even is the
-	// threshold itself.
-	m := (target/ca.Neighbours - n.L - n.C) * n.B
+	// The communication term is piecewise in m: solve the eager branch
+	// first, and if the solution lands above the threshold re-solve with
+	// the rendezvous handshake included. When the two branches disagree
+	// (eager solution above the threshold, rendezvous solution below it)
+	// the cost jump at the threshold straddles the target, so the
+	// break-even is the threshold itself. Under Overlap the term is
+	// p*m/B + L (+Handshake) + p*c — latency and handshake paid once —
+	// and the same two-branch inversion applies.
+	invert := func(handshake float64) float64 {
+		if n.Overlap {
+			return (target - n.L - handshake - ca.Neighbours*n.C) * n.B / ca.Neighbours
+		}
+		return (target/ca.Neighbours - n.L - handshake - n.C) * n.B
+	}
+	m := invert(0)
 	if n.EagerThreshold > 0 && m > n.EagerThreshold {
-		mr := (target/ca.Neighbours - n.L - n.Handshake - n.C) * n.B
-		if mr > n.EagerThreshold {
+		if mr := invert(n.Handshake); mr > n.EagerThreshold {
 			m = mr
 		} else {
 			m = n.EagerThreshold

@@ -215,3 +215,44 @@ func TestNetValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestCommTimeOverlap pins the two delivery modes of CommTime: bulk is
+// k times the full per-message cost; overlapped serialises only the
+// injection term, paying latency and handshake once. The two must agree
+// at k = 1 (back-compat: every pre-overlap call sites priced k = 1 paths
+// through MsgTime) and at the eager boundary the handshake must not leak
+// into either mode.
+func TestCommTimeOverlap(t *testing.T) {
+	n := Net{L: 2e-6, B: 2e8, EagerThreshold: 1024, Handshake: 4e-6}
+	ov := n
+	ov.Overlap = true
+	for _, m := range []float64{0, 100, 1024, 1025, 1 << 20} {
+		if b, o := n.CommTime(1, m), ov.CommTime(1, m); math.Abs(b-o) > 1e-15 {
+			t.Errorf("m=%g: k=1 bulk %g != overlapped %g", m, b, o)
+		}
+	}
+	// k messages: overlapped saves exactly (k-1)*(L+handshake) above the
+	// eager threshold, (k-1)*L below it.
+	const k = 5
+	for _, tc := range []struct {
+		m, save float64
+	}{
+		{512, (k - 1) * n.L},
+		{4096, (k - 1) * (n.L + n.Handshake)},
+	} {
+		b, o := n.CommTime(k, tc.m), ov.CommTime(k, tc.m)
+		if math.Abs((b-o)-tc.save) > 1e-12 {
+			t.Errorf("m=%g: bulk-overlapped = %g, want %g", tc.m, b-o, tc.save)
+		}
+	}
+	// Eager boundary: a message of exactly EagerThreshold bytes pays no
+	// handshake in either mode.
+	atB := n.CommTime(1, n.EagerThreshold)
+	overB := n.CommTime(1, n.EagerThreshold+1)
+	if math.Abs((overB-atB)-(n.Handshake+1/n.B)) > 1e-12 {
+		t.Errorf("eager boundary: cost step %g, want handshake %g", overB-atB, n.Handshake)
+	}
+	if n.CommTime(0, 100) != 0 || n.CommTime(-1, 100) != 0 {
+		t.Error("k <= 0 must price to 0")
+	}
+}

@@ -26,10 +26,29 @@ type Network struct {
 	// Bandwidth is the per-rank injection bandwidth B in bytes/s.
 	Bandwidth float64
 	// EagerThreshold, when positive, models MPI's eager/rendezvous
-	// protocol switch: messages larger than the threshold pay an extra
-	// round trip (2L) for the rendezvous handshake. Zero disables the
-	// distinction.
+	// protocol switch: messages larger than the threshold pay the
+	// Handshake surcharge for the rendezvous round trip. Zero disables
+	// the distinction.
 	EagerThreshold int64
+	// Handshake is the rendezvous surcharge per message above the eager
+	// threshold. Zero defaults to 2*Latency (the classic request/ack
+	// round trip), so existing configurations price exactly as before;
+	// interconnects whose rendezvous cost is not two wire latencies set
+	// it explicitly, and the model.Net pricing follows the same value.
+	Handshake float64
+}
+
+// HandshakeTime returns the rendezvous surcharge one message of the given
+// size pays: the resolved Handshake for messages above the eager
+// threshold, 0 otherwise (eager messages, or no protocol distinction).
+func (n *Network) HandshakeTime(bytes int64) float64 {
+	if n.EagerThreshold <= 0 || bytes <= n.EagerThreshold {
+		return 0
+	}
+	if n.Handshake == 0 {
+		return 2 * n.Latency
+	}
+	return n.Handshake
 }
 
 // Validate rejects parameter combinations that would silently produce
@@ -49,17 +68,16 @@ func (n *Network) Validate() error {
 	if n.EagerThreshold < 0 {
 		return fmt.Errorf("netsim: EagerThreshold %d must be non-negative (0 disables)", n.EagerThreshold)
 	}
+	if n.Handshake < 0 || math.IsNaN(n.Handshake) || math.IsInf(n.Handshake, 0) {
+		return fmt.Errorf("netsim: Handshake %g must be a non-negative, finite time (0 defaults to 2*Latency)", n.Handshake)
+	}
 	return nil
 }
 
 // MessageTime returns the network occupancy of one message: L + bytes/B,
 // plus the rendezvous handshake for messages above the eager threshold.
 func (n *Network) MessageTime(bytes int64) float64 {
-	t := n.Latency + float64(bytes)/n.Bandwidth
-	if n.EagerThreshold > 0 && bytes > n.EagerThreshold {
-		t += 2 * n.Latency
-	}
-	return t
+	return n.Latency + float64(bytes)/n.Bandwidth + n.HandshakeTime(bytes)
 }
 
 // Deliver computes the arrival time of every message. post[r] is the virtual
@@ -86,6 +104,52 @@ func (n *Network) DeliverInto(arrival, busy, post []float64, msgs []Message) []f
 		t := busy[m.From] + n.MessageTime(m.Bytes)
 		busy[m.From] = t
 		arrival = append(arrival, t)
+	}
+	return arrival
+}
+
+// DeliverOverlapped is the pipelined (post/complete) counterpart of
+// Deliver, used by the overlap-capable chain executor. Delivery splits into
+// two halves per message:
+//
+//	post:     the sender initiates the rendezvous handshake at its post
+//	          time and injects the payload — only bytes/B occupies the
+//	          NIC, so later messages queue behind earlier injections, not
+//	          behind their wire latencies or handshake round trips;
+//	complete: the receiver sees the message one wire latency after the
+//	          injection finishes.
+//
+// A message therefore arrives at max(NIC free, post + handshake) + bytes/B
+// + L. A sender's first (or only) message prices exactly as under Deliver
+// — post + handshake + bytes/B + L, equal up to floating-point summation
+// order — so single-message exchanges cost the same in both modes; each
+// further message from the same sender saves its latency and handshake,
+// the serial fraction the bulk-synchronous model leaves on the critical
+// path. Only virtual clocks move: data effects apply in canonical order
+// regardless of delivery mode, so results stay bitwise identical.
+func (n *Network) DeliverOverlapped(post []float64, msgs []Message) []float64 {
+	return n.DeliverOverlappedInto(make([]float64, 0, len(msgs)), make([]float64, len(post)), post, msgs)
+}
+
+// DeliverOverlappedInto is DeliverOverlapped with caller-supplied storage,
+// mirroring DeliverInto: arrivals append to arrival, busy (len(post)) holds
+// per-sender NIC occupancy — here the injection end, not the arrival.
+func (n *Network) DeliverOverlappedInto(arrival, busy, post []float64, msgs []Message) []float64 {
+	if err := n.Validate(); err != nil {
+		panic(err.Error())
+	}
+	copy(busy, post)
+	for i, m := range msgs {
+		if int(m.From) >= len(post) || m.From < 0 {
+			panic(fmt.Sprintf("netsim: message %d from invalid rank %d", i, m.From))
+		}
+		t := busy[m.From]
+		if hs := post[m.From] + n.HandshakeTime(m.Bytes); hs > t {
+			t = hs
+		}
+		t += float64(m.Bytes) / n.Bandwidth
+		busy[m.From] = t
+		arrival = append(arrival, t+n.Latency)
 	}
 	return arrival
 }

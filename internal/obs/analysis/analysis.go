@@ -55,6 +55,13 @@ type Imbalance struct {
 //	WaitNIC     — the message sat behind earlier messages on the sender's NIC
 //	WaitRetry   — retransmission timeout and backoff intervals
 //	WaitTransit — the wire time of the (final) attempt itself
+//
+// WaitHidden is outside that partition: the portion of each message's
+// in-flight window (transmission begin to arrival) that fell before the
+// receiver was ready to wait — communication overlapped with computation,
+// charged to no one. The overlap executor exists to grow this number; a
+// bulk-synchronous chain typically hides only what the core region of the
+// receiving rank happens to cover.
 type ChainComm struct {
 	Name  string
 	Ranks int
@@ -66,6 +73,7 @@ type ChainComm struct {
 	WaitNIC     float64
 	WaitRetry   float64
 	WaitTransit float64
+	WaitHidden  float64
 
 	BytesMat []int64
 	MsgsMat  []int64
@@ -178,6 +186,9 @@ func commMatrices(nranks int, edges []obs.Edge) []*ChainComm {
 		cc.MsgsMat[idx]++
 		cc.BytesMat[idx] += e.Bytes
 
+		if h := math.Min(e.End, e.Ready) - e.Begin; h > 0 {
+			cc.WaitHidden += h
+		}
 		w := e.End - e.Ready
 		if w <= 0 {
 			continue // fully hidden by the receiver's core computation
@@ -264,6 +275,9 @@ func (p *Profile) Report() string {
 			fmt.Fprintf(&sb, " (late %.1f%%, nic %.1f%%, retry %.1f%%, transit %.1f%%)",
 				100*cc.WaitLate/cc.Wait, 100*cc.WaitNIC/cc.Wait,
 				100*cc.WaitRetry/cc.Wait, 100*cc.WaitTransit/cc.Wait)
+		}
+		if cc.WaitHidden > 0 {
+			fmt.Fprintf(&sb, " hidden %.9fs", cc.WaitHidden)
 		}
 		sb.WriteByte('\n')
 	}

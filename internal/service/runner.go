@@ -58,6 +58,7 @@ func (w *workload) runAttempt(st *checkpoint.State, sup *supervise.Supervisor,
 			Prog: app.Prog, Primary: app.Primary, NParts: w.spec.Ranks,
 			Depth: w.depth, MaxChainLen: maxChain, CA: ca,
 			Machine: w.mach, Parallel: false, Faults: w.plan,
+			Overlap: w.spec.Overlap,
 		}
 		body = func(b core.Backend, cb *cluster.Backend, start int) error {
 			if start == 0 {
@@ -81,6 +82,7 @@ func (w *workload) runAttempt(st *checkpoint.State, sup *supervise.Supervisor,
 			Prog: app.Prog, Primary: app.Nodes, NParts: w.spec.Ranks,
 			Depth: w.depth, MaxChainLen: 6, CA: ca, Chains: w.chains,
 			Machine: w.mach, Parallel: false, Faults: w.plan,
+			Overlap: w.spec.Overlap,
 		}
 		body = func(b core.Backend, cb *cluster.Backend, start int) error {
 			if start == 0 {

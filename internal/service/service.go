@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -170,7 +171,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		s.shedQueue++
-		return JobView{}, &OverloadError{Scope: "queue", Tenant: w.spec.Tenant, RetryAfter: 1}
+		return JobView{}, &OverloadError{Scope: "queue", Tenant: w.spec.Tenant, RetryAfter: s.retryAfterLocked()}
 	}
 	queued := 0
 	for _, q := range s.queue {
@@ -180,7 +181,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 	if queued >= s.cfg.TenantCap {
 		s.shedTenant++
-		return JobView{}, &OverloadError{Scope: "tenant", Tenant: w.spec.Tenant, RetryAfter: 1}
+		return JobView{}, &OverloadError{Scope: "tenant", Tenant: w.spec.Tenant, RetryAfter: s.retryAfterLocked()}
 	}
 
 	s.nextID++
@@ -203,6 +204,31 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	s.eventLocked(j, StateQueued, "", "accepted")
 	s.dispatchLocked()
 	return s.viewLocked(j), nil
+}
+
+// retryAfterLocked estimates how long a shed client should wait before
+// resubmitting: the expected queue drain time, computed from the pool's
+// observed throughput. Each worker's load/jobs counters give the mean
+// virtual seconds per completed job (1s before anything has finished);
+// the queue drains at that rate across all workers. Rounded up, and never
+// below the old hardcoded hint of one second.
+func (s *Service) retryAfterLocked() int {
+	var load float64
+	var jobs int
+	for _, w := range s.workers {
+		load += w.load
+		jobs += w.jobs
+	}
+	perJob := 1.0
+	if jobs > 0 {
+		perJob = load / float64(jobs)
+	}
+	drain := perJob * float64(len(s.queue)) / float64(len(s.workers))
+	after := int(math.Ceil(drain))
+	if after < 1 {
+		after = 1
+	}
+	return after
 }
 
 // Get returns a job's status view.

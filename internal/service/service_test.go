@@ -1,6 +1,8 @@
 package service_test
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -105,6 +107,87 @@ func TestRunDirectDeterministic(t *testing.T) {
 		if c.Checksum != a.Checksum {
 			t.Errorf("%s: op2 checksum %s != ca %s", spec.App, c.Checksum, a.Checksum)
 		}
+	}
+}
+
+// TestRunDirectOverlap pins the overlap knob end to end through the job
+// grammar: the task-graph executor moves virtual time only, so a job
+// served with overlap=true answers bitwise what the bulk run answers,
+// and never with a larger makespan.
+func TestRunDirectOverlap(t *testing.T) {
+	spec := smallMGCFD("acme")
+	base, err := service.RunDirect(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := spec
+	ov.Overlap = true
+	got, err := service.RunDirect(ov, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != base.Checksum || got.Residual != base.Residual {
+		t.Errorf("overlap changed the answer: checksum %s vs %s, residual %v vs %v",
+			got.Checksum, base.Checksum, got.Residual, base.Residual)
+	}
+	if got.MaxClockSeconds > base.MaxClockSeconds {
+		t.Errorf("overlap raised the makespan: %v > %v", got.MaxClockSeconds, base.MaxClockSeconds)
+	}
+	if !got.Spec.Overlap {
+		t.Error("result spec echo lost overlap=true")
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins the overload hint derivation:
+// Retry-After estimates the queue's drain time, so shedding against a
+// deeper queue must return a larger hint than against a shallow one.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 1, QueueCap: 6, TenantCap: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// A long job pins the only worker so the queue keeps its depth while
+	// the hints are sampled (Close cancels it cooperatively).
+	busy := smallMGCFD("acme")
+	busy.MeshNodes = 6000
+	busy.Iters = 200
+	if _, err := svc.Submit(busy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(smallMGCFD("hog")); err != nil {
+		t.Fatal(err)
+	}
+
+	shed := func() *service.OverloadError {
+		t.Helper()
+		_, err := svc.Submit(smallMGCFD("hog"))
+		var oe *service.OverloadError
+		if !errors.As(err, &oe) {
+			t.Fatalf("want OverloadError, got %v", err)
+		}
+		return oe
+	}
+	shallow := shed() // tenant quota, queue depth 1
+	if shallow.Scope != "tenant" || shallow.RetryAfter < 1 {
+		t.Fatalf("shallow shed = %+v", shallow)
+	}
+	for i := 0; i < 4; i++ { // other tenants deepen the queue
+		if _, err := svc.Submit(smallMGCFD(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deep := shed() // tenant quota again, queue depth 5
+	if deep.Scope != "tenant" || deep.RetryAfter <= shallow.RetryAfter {
+		t.Errorf("Retry-After did not grow with queue depth: %d then %d", shallow.RetryAfter, deep.RetryAfter)
+	}
+	if _, err := svc.Submit(smallMGCFD("t9")); err != nil { // fill to cap
+		t.Fatal(err)
+	}
+	full := shed() // whole-queue shed outranks the tenant quota
+	if full.Scope != "queue" || full.RetryAfter < deep.RetryAfter {
+		t.Errorf("queue-full shed = %+v, want scope queue and Retry-After >= %d", full, deep.RetryAfter)
 	}
 }
 

@@ -39,6 +39,10 @@ type JobSpec struct {
 	// Backend is "op2" or "ca" (default "ca"). The sequential reference
 	// is not served: it has no virtual clock and nothing to checkpoint.
 	Backend string `json:"backend,omitempty"`
+	// Overlap runs the job's CA chains on the overlap-capable task-graph
+	// executor (see internal/cluster/taskgraph.go). Results stay bitwise
+	// identical to the bulk-synchronous run; only virtual time moves.
+	Overlap bool `json:"overlap,omitempty"`
 	// Iters is the main-loop iteration count. Default 5.
 	Iters int `json:"iters,omitempty"`
 	// Machine is the performance model: archer2, cirrus or laptop
